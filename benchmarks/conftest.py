@@ -1,0 +1,36 @@
+"""Benchmark-suite helpers.
+
+Each ``test_bench_*`` file regenerates one paper artefact (figure or
+table): it runs the experiment harness once under pytest-benchmark,
+prints the rows/series the paper reports, and asserts the qualitative
+shape (who wins, by roughly what factor, where the crossovers are).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Execute an experiment exactly once under the benchmark timer.
+
+    Experiments are full simulations (seconds, not microseconds), so a
+    single round is both sufficient and honest.
+    """
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult so the bench output mirrors the paper."""
+
+    def _show(result):
+        print()
+        print(result.render())
+        return result
+
+    return _show

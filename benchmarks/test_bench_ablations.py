@@ -1,0 +1,149 @@
+"""Design-choice ablations beyond the paper's figures.
+
+Three sweeps over knobs DESIGN.md calls out:
+
+* the semi-warm start percentile (90 / 95 / 99 / 99.9) — the paper's
+  pessimistic-estimation argument (§6.1, §8.3.2);
+* the rollback minimum interval ``t`` (§5.3, §8.5);
+* the gradual-offload mode (percentile vs amount vs immediate) (§6.2).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.experiments.common import make_reuse_priors, run_benchmark_trace
+from repro.metrics.export import render_table
+from repro.traces.azure import sample_function_trace
+
+
+def _trace_and_priors(benchmark="bert", seed=42, duration=3600.0):
+    trace = sample_function_trace("high", duration=duration, seed=seed)
+    history = sample_function_trace("high", duration=4 * duration, seed=seed)
+    return trace, make_reuse_priors(history, benchmark)
+
+
+def test_bench_semiwarm_percentile_sweep(benchmark):
+    """Lower percentiles save more memory but start eating into P95."""
+    trace, priors = _trace_and_priors()
+
+    def sweep():
+        rows = []
+        for percentile in (90.0, 95.0, 99.0, 99.9):
+            config = FaaSMemConfig(semiwarm_percentile=percentile)
+            policy = FaaSMemPolicy(config, reuse_priors=priors)
+            summary = run_benchmark_trace(policy, "bert", trace)
+            rows.append(
+                {
+                    "percentile": percentile,
+                    "avg_mem_mib": round(summary.memory.average_mib, 1),
+                    "p95_s": round(summary.latency_p95, 4),
+                    "recalled_mib": round(summary.recalled_mib_total, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Semi-warm start percentile sweep (bert)"))
+    memory = [row["avg_mem_mib"] for row in rows]
+    recalls = [row["recalled_mib"] for row in rows]
+    # More pessimistic timing -> less memory saved; recall volume is
+    # noisy (rollback churn) but must not grow materially with
+    # pessimism.
+    assert memory[0] <= memory[-1] * 1.05
+    assert recalls[0] >= recalls[-1] * 0.85
+
+
+def test_bench_rollback_interval_sweep(benchmark):
+    """A larger ``t`` bounds rollback overhead without hurting savings."""
+    trace, priors = _trace_and_priors(benchmark="web")
+
+    def sweep():
+        rows = []
+        for interval in (1.0, 10.0, 60.0, 600.0):
+            config = FaaSMemConfig(
+                enable_semiwarm=False, rollback_min_interval_s=interval
+            )
+            policy = FaaSMemPolicy(config, reuse_priors=priors)
+            summary = run_benchmark_trace(policy, "web", trace)
+            rollbacks = sum(
+                len(report_samples)
+                for report_samples in (
+                    [r.max_rollback_s] if r.max_rollback_s > 0 else []
+                    for r in policy.reports
+                )
+            )
+            rows.append(
+                {
+                    "t_s": interval,
+                    "avg_mem_mib": round(summary.memory.average_mib, 1),
+                    "p95_s": round(summary.latency_p95, 4),
+                    "containers_with_rollbacks": rollbacks,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Rollback minimum-interval sweep (web)"))
+    # Rollback frequency falls as t grows.
+    counts = [row["containers_with_rollbacks"] for row in rows]
+    assert counts[0] >= counts[-1]
+    # Infrequent rollbacks leave recalled pages in the hot pool longer
+    # (web's Pareto objects churn), so memory grows mildly with t; the
+    # paper's t >= 10 s recommendation sits near the efficient frontier.
+    memory = [row["avg_mem_mib"] for row in rows]
+    assert memory[0] <= memory[-1] * 1.05  # small t never worse
+    assert max(memory) <= min(memory) * 2.0  # and the knob stays mild
+
+
+def test_bench_gradual_offload_modes(benchmark):
+    """Gradual drain vs an immediate full drain at semi-warm start.
+
+    Immediate drain is emulated with a very high percent rate; it saves
+    slightly more memory but concentrates bandwidth into spikes.
+    """
+    trace, priors = _trace_and_priors()
+
+    def sweep():
+        rows = []
+        for label, config in (
+            (
+                "percentile-1%/s",
+                FaaSMemConfig(percent_rate_per_s=0.01, large_container_mib=256.0),
+            ),
+            (
+                "amount-10MiB/s",
+                FaaSMemConfig(
+                    amount_rate_mib_per_s=10.0, large_container_mib=1e9
+                ),
+            ),
+            (
+                "immediate",
+                FaaSMemConfig(percent_rate_per_s=1.0, large_container_mib=0.0),
+            ),
+        ):
+            policy = FaaSMemPolicy(config, reuse_priors=priors)
+            summary = run_benchmark_trace(policy, "bert", trace)
+            rows.append(
+                {
+                    "mode": label,
+                    "avg_mem_mib": round(summary.memory.average_mib, 1),
+                    "p95_s": round(summary.latency_p95, 4),
+                    "avg_offload_bw_mibps": round(
+                        summary.avg_offload_bandwidth_mibps, 3
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Gradual-offload mode comparison (bert)"))
+    by_mode = {row["mode"]: row for row in rows}
+    # Faster drains save at least as much memory...
+    assert by_mode["immediate"]["avg_mem_mib"] <= by_mode["percentile-1%/s"]["avg_mem_mib"] * 1.05
+    # ...and every mode keeps P95 within the paper's envelope.
+    for row in rows:
+        assert row["p95_s"] < by_mode["percentile-1%/s"]["p95_s"] * 1.3 + 0.05

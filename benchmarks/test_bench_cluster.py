@@ -1,0 +1,29 @@
+"""Cluster-scope density (future-work extension beyond Fig. 16)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.cluster_density import run
+
+
+def test_bench_cluster_density(benchmark, show):
+    result = run_once(benchmark, run, duration=1800.0)
+    show(result)
+    for row in result.rows:
+        # Quota reduction never hurts admission or packing...
+        assert row["admission_pct_faasmem"] >= row["admission_pct_original"]
+        assert (
+            row["peak_committed_gib_faasmem"] <= row["peak_committed_gib_original"]
+        )
+        # ...and reduced-quota packing never commits more capacity.
+        # (With rejections in play the peak ratio is not proportional
+        # to the quota scale: rejected full-quota containers suppress
+        # the original peak.)
+        ratio = (
+            row["peak_committed_gib_faasmem"] / row["peak_committed_gib_original"]
+        )
+        assert ratio <= 1.0
+    # At least one application must show a real admission win under
+    # the deliberately tight fleet.
+    assert any(
+        row["admission_pct_faasmem"] > row["admission_pct_original"] + 5
+        for row in result.rows
+    )

@@ -1,0 +1,25 @@
+"""Fig. 1 — memory inactive time & cold-start ratio vs keep-alive timeout."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig01_keepalive import run
+from repro.units import HOUR
+
+
+def test_bench_fig01(benchmark, show):
+    result = run_once(
+        benchmark,
+        run,
+        timeouts=(10, 30, 60, 120, 300, 600, 1000),
+        duration=24 * HOUR,
+        n_functions=424,
+    )
+    show(result)
+    rows = {row["keepalive_s"]: row for row in result.rows}
+    # Paper anchors: ~70.1 % inactive at 60 s, ~89.2 % at 600 s.
+    assert 55 <= rows[60]["inactive_pct"] <= 85
+    assert 80 <= rows[600]["inactive_pct"] <= 95
+    # Monotonic trade-off between the two axes.
+    inactive = [row["inactive_pct"] for row in result.rows]
+    cold = [row["cold_start_pct"] for row in result.rows]
+    assert inactive == sorted(inactive)
+    assert cold == sorted(cold, reverse=True)

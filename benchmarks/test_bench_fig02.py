@@ -1,0 +1,16 @@
+"""Fig. 2 — P95 latency when offloading via DAMON."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig02_damon import run
+
+
+def test_bench_fig02(benchmark, show):
+    result = run_once(benchmark, run, duration=1800.0)
+    show(result)
+    slowdowns = {row["benchmark"]: row["slowdown_x"] for row in result.rows}
+    # Stage-agnostic sampling hurts every benchmark's tail latency...
+    assert all(s > 1.2 for s in slowdowns.values())
+    # ...and the worst cases are severe (paper: up to ~14x).
+    assert max(slowdowns.values()) > 4.0
+    # Bert (large hot working set) is among the hardest hit.
+    assert slowdowns["bert"] >= sorted(slowdowns.values())[-3]

@@ -1,0 +1,21 @@
+"""Fig. 4 — inactive runtime-segment memory per platform and language."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig04_runtime_memory import run
+
+
+def test_bench_fig04(benchmark, show):
+    result = run_once(benchmark, run)
+    show(result)
+    rows = {(r["platform"], r["language"]): r["inactive_mib"] for r in result.rows}
+    # Paper: OpenWhisk Python 24 MiB, Java 57 MiB.
+    assert abs(rows[("openwhisk", "python")] - 24) <= 2
+    assert abs(rows[("openwhisk", "java")] - 57) <= 3
+    # All Azure runtimes exceed 100 MiB.
+    for language in ("nodejs", "python", "java"):
+        assert rows[("azure", language)] > 100
+    # Java is the largest runtime on both platforms (JVM).
+    for platform in ("openwhisk", "azure"):
+        assert rows[(platform, "java")] == max(
+            rows[(platform, lang)] for lang in ("nodejs", "python", "java")
+        )

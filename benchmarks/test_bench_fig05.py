@@ -1,0 +1,17 @@
+"""Fig. 5 — CDF of requests handled per container."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig05_requests_cdf import run
+from repro.units import HOUR
+
+
+def test_bench_fig05(benchmark, show):
+    result = run_once(benchmark, run, duration=24 * HOUR, n_functions=424)
+    show(result)
+    cdf = {row["requests_per_container"]: row["cdf_pct"] for row in result.rows}
+    # Paper: nearly 60 % of containers serve at most two requests.
+    assert 35 <= cdf[2] <= 75
+    # CDF is monotone and most containers serve few requests.
+    values = [row["cdf_pct"] for row in result.rows]
+    assert values == sorted(values)
+    assert cdf[10] > cdf[2]

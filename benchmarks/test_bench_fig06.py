@@ -1,0 +1,15 @@
+"""Fig. 6 — Access-bit scan of the Bert benchmark."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig06_bert_scan import run
+
+
+def test_bench_fig06(benchmark, show):
+    result = run_once(benchmark, run)
+    show(result)
+    # Init allocates ~1000 MB at peak, partially released afterwards.
+    assert 850 <= result.series["peak_mib"] <= 1150
+    # Each request accesses ~610 MB, ~400 MB of it init-segment hot pages.
+    for row in result.rows:
+        assert 550 <= row["total_accessed_mib"] <= 700
+        assert 350 <= row["init_hot_mib"] <= 450

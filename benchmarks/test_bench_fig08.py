@@ -1,0 +1,14 @@
+"""Fig. 8 — Runtime Pucket recalls after the reactive offload."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig08_runtime_recalls import run
+
+
+def test_bench_fig08(benchmark, show):
+    result = run_once(benchmark, run, duration=600.0)
+    show(result)
+    # Paper: 0-3 recalled pages per benchmark — offloading the Runtime
+    # Pucket after the first request is safe.
+    for row in result.rows:
+        assert row["runtime_recalls"] <= 3
+        assert row["requests"] > 0

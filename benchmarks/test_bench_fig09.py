@@ -1,0 +1,16 @@
+"""Fig. 9 — Access scan of the Web benchmark (Pareto page popularity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig09_web_scan import run
+
+
+def test_bench_fig09(benchmark, show):
+    result = run_once(benchmark, run, requests=500)
+    show(result)
+    # Different requests touch different cached pages...
+    assert result.series["distinct_objects"] >= 20
+    # ...with a strongly skewed (Pareto) popularity.
+    assert result.series["top5_share"] > 0.2
+    assert result.series["gini"] > 0.5
+    # The long tail stays cold: many objects never touched at all.
+    assert result.series["distinct_objects"] < result.series["n_objects"]

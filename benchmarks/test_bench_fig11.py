@@ -1,0 +1,23 @@
+"""Fig. 11 — semi-warm design overview regenerated from simulation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11_semiwarm_overview import run
+
+
+def test_bench_fig11(benchmark, show):
+    result = run_once(benchmark, run)
+    show(result)
+    row = result.rows[0]
+    # The pessimistic timing sits deep in the CDF tail...
+    xs = [x for x, _ in result.series["reuse_cdf"]]
+    covered = sum(1 for x in xs if x <= row["semiwarm_start_s"]) / len(xs)
+    assert covered >= 0.98
+    # ...the drain is gradual (only part of memory moved before the
+    # reuse), and the semi-warm start stays fast.
+    assert 0 < row["drained_before_reuse_mib"] < 1200
+    assert row["semiwarm_start_latency_s"] < 1.5
+    # The memory timeline steps down during the drain.
+    timeline = result.series["memory_timeline"]
+    peak = max(p["local_mib"] for p in timeline)
+    trough = min(p["local_mib"] for p in timeline[len(timeline) // 2 :])
+    assert trough < peak

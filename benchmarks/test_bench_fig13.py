@@ -1,0 +1,24 @@
+"""Fig. 13 — ablation of Pucket and semi-warm on Bert."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig13_ablation import run
+
+
+def test_bench_fig13(benchmark, show):
+    result = run_once(benchmark, run, duration=7200.0)
+    show(result)
+    rows = {(r["case"], r["variant"]): r for r in result.rows}
+    # Common case: the full system beats both ablations.
+    common_full = rows[("common", "faasmem")]["norm_mem"]
+    assert common_full < rows[("common", "faasmem-no-pucket")]["norm_mem"]
+    assert common_full <= rows[("common", "faasmem-no-semiwarm")]["norm_mem"] * 1.02
+    assert common_full < 0.7
+    # Bursty case: semi-warm partly subsumes Pucket (no-pucket close to
+    # full), while dropping semi-warm costs much more memory.
+    bursty_full = rows[("bursty", "faasmem")]["norm_mem"]
+    assert abs(rows[("bursty", "faasmem-no-pucket")]["norm_mem"] - bursty_full) < 0.15
+    assert rows[("bursty", "faasmem-no-semiwarm")]["norm_mem"] > bursty_full + 0.15
+    # P95 stays at baseline level in all variants.
+    for (case, variant), row in rows.items():
+        base = rows[(case, "baseline")]["p95_s"]
+        assert row["p95_s"] <= base * 1.1

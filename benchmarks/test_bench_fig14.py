@@ -1,0 +1,17 @@
+"""Fig. 14 — applicability of semi-warm across load classes."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig14_semiwarm_applicability import run
+from repro.units import HOUR
+
+
+def test_bench_fig14(benchmark, show):
+    result = run_once(benchmark, run, duration=24 * HOUR, n_functions=424)
+    show(result)
+    rows = {row["load_class"]: row for row in result.rows}
+    # Low-load functions benefit hugely (one-shot containers drain).
+    assert rows["low"]["share_gt_50pct"] > 50
+    # High-load functions benefit more than middle-load (surge cohorts).
+    assert rows["high"]["share_gt_50pct"] >= rows["middle"]["share_gt_50pct"]
+    # Paper: semi-warm covers >1/2 of lifetime for ~50 % of functions.
+    assert 0.3 <= result.series["overall_gt_half"] <= 0.7

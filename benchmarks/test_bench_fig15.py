@@ -1,0 +1,22 @@
+"""Fig. 15 — overhead of time barriers and rollback."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig15_overhead import run
+
+
+def test_bench_fig15(benchmark, show):
+    result = run_once(benchmark, run, duration=900.0)
+    show(result)
+    rows = {row["benchmark"]: row for row in result.rows}
+    micros = ("float", "matmul", "linpack", "image", "chameleon", "pyaes", "gzip", "json")
+    # Micro-benchmarks: both barriers below 2.5 ms.
+    for name in micros:
+        assert rows[name]["runtime_init_barrier_ms"] < 2.5
+        assert rows[name]["init_exec_barrier_ms"] < 2.5
+    # Applications: init-exec barrier costlier (Bert ~10 ms in paper).
+    assert rows["bert"]["init_exec_barrier_ms"] > rows["json"]["init_exec_barrier_ms"]
+    assert 4.0 <= rows["bert"]["init_exec_barrier_ms"] <= 15.0
+    # Rollback below 7.5 ms and <0.1 % steady-state overhead.
+    for row in rows.values():
+        assert row["max_rollback_ms"] < 7.5
+        assert row["rollback_overhead_pct"] < 0.1

@@ -1,0 +1,30 @@
+"""Fig. 16 — remote bandwidth and density improvement."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig16_density import run
+
+
+def test_bench_fig16(benchmark, show):
+    result = run_once(benchmark, run, n_traces=20, duration=1800.0)
+    show(result)
+    correlations = result.series["correlations"]
+    for app in ("bert", "graph", "web"):
+        # Density improves with request load...
+        assert correlations[f"{app}/load_density"] > 0.2
+        # ...bandwidth grows with load...
+        assert correlations[f"{app}/load_bandwidth"] > 0.5
+        # ...and density degrades as IAT dispersion grows.
+        assert correlations[f"{app}/sigma_density"] < 0.0
+    # Peak density improvements in the paper's ballpark
+    # (up to 1.4x / 1.4x / 2.2x for Bert / Graph / Web).
+    peak = {
+        app: max(r["density_x"] for r in result.rows if r["app"] == app)
+        for app in ("bert", "graph", "web")
+    }
+    assert 1.15 <= peak["bert"] <= 2.6
+    assert 1.1 <= peak["graph"] <= 2.6
+    assert peak["web"] == max(peak.values())
+    assert 1.5 <= peak["web"] <= 4.0
+    # Per-container bandwidth stays small (paper: <= 0.82 MiB/s avg).
+    for row in result.rows:
+        assert row["bandwidth_mibps"] < 20.0

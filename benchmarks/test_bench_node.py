@@ -1,0 +1,19 @@
+"""Whole-node mixed-population bench (the paper's §8.2 replay setup)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.node_mixed import run
+
+
+def test_bench_node_mixed(benchmark, show):
+    result = run_once(benchmark, run, duration=1800.0)
+    show(result)
+    rows = {row["system"]: row for row in result.rows}
+    # FaaSMem's node-level saving dwarfs TMO's...
+    assert rows["faasmem"]["mem_saving_pct"] > 3 * rows["tmo"]["mem_saving_pct"]
+    # ...lands between Fig. 12's per-benchmark extremes...
+    assert 20 <= rows["faasmem"]["mem_saving_pct"] <= 85
+    # ...with tail latency at the baseline level...
+    assert rows["faasmem"]["p95_s"] <= rows["baseline"]["p95_s"] * 1.15
+    # ...and sane per-node offload bandwidth (paper §9: far below the
+    # 56 Gbps link).
+    assert rows["faasmem"]["offload_bw_mibps"] < 100.0

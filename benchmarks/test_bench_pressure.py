@@ -1,0 +1,19 @@
+"""Memory-stranded-node extension bench (pressure evictions)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.pressure import run
+
+
+def test_bench_pressure(benchmark, show):
+    result = run_once(benchmark, run, duration=1800.0)
+    show(result)
+    rows = {row["system"]: row for row in result.rows}
+    baseline, faasmem = rows["baseline"], rows["faasmem"]
+    # FaaSMem's reduced quotas ride out the surges with fewer (here:
+    # zero) pressure evictions and no extra cold starts.
+    assert faasmem["pressure_evictions"] < baseline["pressure_evictions"]
+    assert faasmem["cold_starts"] <= baseline["cold_starts"]
+    # Both systems served every request.
+    assert faasmem["requests"] == baseline["requests"]
+    # And the offloading kept resident memory lower on top of it.
+    assert faasmem["avg_mem_mib"] < baseline["avg_mem_mib"]

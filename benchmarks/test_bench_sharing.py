@@ -1,0 +1,54 @@
+"""Runtime-sharing extension bench (§9 discussion: FAASM + FaaSMem)."""
+
+from repro.baselines import NoOffloadPolicy
+from repro.core import FaaSMemPolicy
+from repro.experiments.common import make_reuse_priors
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.metrics.export import render_table
+from repro.traces.azure import sample_function_trace
+from repro.workloads import get_profile
+
+
+def test_bench_runtime_sharing(benchmark):
+    """Sharing the runtime image stacks with FaaSMem's offloading."""
+    duration = 1800.0
+    trace = sample_function_trace("high", duration=duration, seed=12)
+    history = sample_function_trace("high", duration=4 * duration, seed=12)
+    priors = make_reuse_priors(history, "json")
+
+    def sweep():
+        rows = []
+        for label, share, policy_factory in (
+            ("baseline", False, NoOffloadPolicy),
+            ("sharing", True, NoOffloadPolicy),
+            ("faasmem", False, lambda: FaaSMemPolicy(reuse_priors=priors)),
+            ("faasmem+sharing", True, lambda: FaaSMemPolicy(reuse_priors=priors)),
+        ):
+            platform = ServerlessPlatform(
+                policy_factory(),
+                config=PlatformConfig(seed=3, share_runtime=share),
+            )
+            platform.register_function("json", get_profile("json"))
+            platform.run_trace((t, "json") for t in trace.timestamps)
+            summary = platform.summarize("json", "t", window=duration)
+            rows.append(
+                {
+                    "system": label,
+                    "avg_mem_mib": round(summary.memory.average_mib, 1),
+                    "p95_s": round(summary.latency_p95, 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Runtime sharing x FaaSMem (json)"))
+    memory = {row["system"]: row["avg_mem_mib"] for row in rows}
+    # Each technique helps alone; the combination is the best of all.
+    assert memory["sharing"] <= memory["baseline"]
+    assert memory["faasmem"] < memory["baseline"]
+    assert memory["faasmem+sharing"] <= min(memory["sharing"], memory["faasmem"]) * 1.05
+    # Latency stays at the baseline level for every variant.
+    p95 = {row["system"]: row["p95_s"] for row in rows}
+    for system in ("sharing", "faasmem", "faasmem+sharing"):
+        assert p95[system] <= p95["baseline"] * 1.2 + 0.02

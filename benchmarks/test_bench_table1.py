@@ -1,0 +1,21 @@
+"""Table 1 — Bert/Graph/Web under six diverse traces."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_diverse_traces import run
+
+
+def test_bench_table1(benchmark, show):
+    result = run_once(benchmark, run, duration=1800.0)
+    show(result)
+    rows = {(r["trace"], r["app"]): r for r in result.rows}
+    assert len(rows) == 18  # 6 traces x 3 apps
+    for row in rows.values():
+        # FaaSMem cells are darker (more offload) than TMO everywhere.
+        assert row["faasmem_offload_pct"] > row["tmo_offload_pct"]
+        # Tail latency stays at the baseline level.
+        assert row["faasmem_p95_s"] <= row["baseline_p95_s"] * 1.25 + 0.05
+    # The surge trace (ID-5) congests even the baseline for Bert.
+    assert rows[("ID-5", "bert")]["baseline_p95_s"] > 1.0
+    # FaaSMem still saves a significant share there (paper: 14.4-68 %).
+    for app in ("bert", "graph", "web"):
+        assert rows[("ID-5", app)]["faasmem_offload_pct"] >= 10

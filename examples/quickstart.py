@@ -1,0 +1,50 @@
+"""Quickstart: FaaSMem vs the no-offload baseline on one benchmark.
+
+Runs the Web benchmark against a 30-minute high-load trace twice —
+once with plain keep-alive, once with FaaSMem — and prints average
+local memory and tail latency side by side.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [seed]
+"""
+
+import sys
+
+from repro import FaaSMemPolicy, NoOffloadPolicy, ServerlessPlatform, get_profile
+from repro.experiments.common import make_reuse_priors
+from repro.metrics.export import render_table
+from repro.traces import sample_function_trace
+
+
+def run_system(policy, benchmark, trace):
+    platform = ServerlessPlatform(policy)
+    platform.register_function(benchmark, get_profile(benchmark))
+    platform.run_trace((t, benchmark) for t in trace.timestamps)
+    return platform.summarize(benchmark, trace.name, window=trace.duration)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "web"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    trace = sample_function_trace("high", duration=1800.0, seed=seed, name="demo")
+    history = sample_function_trace("high", duration=4 * 1800.0, seed=seed)
+    print(f"benchmark={benchmark}  invocations={trace.count}  window=30min\n")
+
+    baseline = run_system(NoOffloadPolicy(), benchmark, trace)
+    priors = make_reuse_priors(history, benchmark)
+    faasmem = run_system(FaaSMemPolicy(reuse_priors=priors), benchmark, trace)
+
+    rows = [baseline.row(), faasmem.row()]
+    print(render_table(rows))
+    saving = 1 - faasmem.memory.average_mib / baseline.memory.average_mib
+    p95_delta = faasmem.latency_p95 / baseline.latency_p95 - 1
+    print(
+        f"\nFaaSMem saved {saving:.1%} of local memory "
+        f"({baseline.memory.average_mib:.0f} -> {faasmem.memory.average_mib:.0f} MiB) "
+        f"with a {p95_delta:+.1%} P95 latency change."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Trace-driven multi-function node: an Azure-like mixed workload.
+
+Maps a small Azure-like function population onto the paper's 11
+benchmarks (round-robin by rate, as §8.2 maps anonymous trace
+functions to benchmarks) and replays the merged trace on one compute
+node under each system, reporting the node-level outcome.
+
+Usage::
+
+    python examples/trace_driven_node.py [n_functions] [hours]
+"""
+
+import sys
+
+from repro import (
+    FaaSMemPolicy,
+    NoOffloadPolicy,
+    ServerlessPlatform,
+    TmoPolicy,
+    all_benchmarks,
+    get_profile,
+)
+from repro.metrics.export import render_table
+from repro.traces import AzureTraceConfig, generate_azure_like
+from repro.traces.analysis import reused_intervals
+from repro.units import HOUR
+
+
+def build_workload(n_functions: int, duration: float):
+    """An Azure-like population, each function bound to a benchmark."""
+    population = generate_azure_like(
+        AzureTraceConfig(n_functions=n_functions, duration=duration, seed=99)
+    )
+    benchmarks = all_benchmarks()
+    bindings = {}
+    priors = {}
+    for index, trace in enumerate(sorted(population, key=lambda t: -t.count)):
+        if not trace.timestamps:
+            continue
+        benchmark = benchmarks[index % len(benchmarks)]
+        bindings[trace.name] = (benchmark, trace)
+        priors[trace.name] = reused_intervals(trace.timestamps, 600.0, 1.0)
+    return bindings, priors
+
+
+def replay(policy, bindings):
+    platform = ServerlessPlatform(policy)
+    events = []
+    for name, (benchmark, trace) in bindings.items():
+        platform.register_function(name, get_profile(benchmark))
+        events.extend((t, name) for t in trace.timestamps)
+    events.sort()
+    platform.run_trace(events)
+    duration = max(t for t, _ in events)
+    return platform, duration
+
+
+def main() -> None:
+    n_functions = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    hours = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    bindings, priors = build_workload(n_functions, hours * HOUR)
+    total = sum(trace.count for _, trace in bindings.values())
+    print(
+        f"{len(bindings)} functions, {total} invocations over {hours:.1f} h, "
+        f"mapped onto {len(all_benchmarks())} benchmarks\n"
+    )
+    rows = []
+    for label, policy in (
+        ("baseline", NoOffloadPolicy()),
+        ("tmo", TmoPolicy()),
+        ("faasmem", FaaSMemPolicy(reuse_priors=priors)),
+    ):
+        platform, duration = replay(policy, bindings)
+        summary = platform.summarize("mixed", "azure-like", window=duration)
+        rows.append(
+            {
+                "system": label,
+                "requests": summary.requests,
+                "cold_start_pct": round(100 * summary.cold_start_ratio, 1),
+                "p95_s": round(summary.latency_p95, 3),
+                "avg_node_mem_gib": round(summary.memory.average_mib / 1024, 2),
+                "peak_node_mem_gib": round(summary.memory.peak_mib / 1024, 2),
+                "pool_avg_gib": round(summary.remote_avg_mib / 1024, 2),
+                "offload_bw_mibps": round(summary.avg_offload_bandwidth_mibps, 2),
+            }
+        )
+    print(render_table(rows, title="One 64 GiB compute node, Azure-like mix"))
+
+
+if __name__ == "__main__":
+    main()

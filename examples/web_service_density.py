@@ -1,0 +1,62 @@
+"""Deployment-density study for a web service (paper §8.6).
+
+Sweeps request load for the Web benchmark under FaaSMem and reports,
+per trace, the remote bandwidth consumed and the estimated container
+deployment-density improvement from shrinking the scheduling quota by
+the stably offloaded amount.
+
+Usage::
+
+    python examples/web_service_density.py
+"""
+
+from repro import FaaSMemPolicy, ServerlessPlatform, get_profile
+from repro.experiments.common import make_reuse_priors
+from repro.faas.density import estimate_density
+from repro.metrics.export import render_table
+from repro.sim.randomness import RandomStreams
+from repro.traces.model import FunctionTrace
+from repro.traces.patterns import poisson_arrivals
+
+
+def main() -> None:
+    duration = 1800.0
+    rows = []
+    for req_per_min in (2, 5, 10, 20, 40, 80):
+        rng = RandomStreams(seed=11).get(f"density-{req_per_min}")
+        trace = FunctionTrace(
+            name=f"{req_per_min}rpm",
+            timestamps=poisson_arrivals(rng, req_per_min / 60.0, duration),
+            duration=duration,
+        )
+        if not trace.timestamps:
+            continue
+        priors = make_reuse_priors(trace, "web")
+        platform = ServerlessPlatform(FaaSMemPolicy(reuse_priors=priors))
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace((t, "web") for t in trace.timestamps)
+        report = estimate_density(platform, "web", window=duration)
+        summary = platform.summarize("web", trace.name, window=duration)
+        rows.append(
+            {
+                "req_per_min": req_per_min,
+                "requests": trace.count,
+                "p95_s": round(summary.latency_p95, 3),
+                "avg_mem_mib": round(summary.memory.average_mib, 1),
+                "offload_per_container_mib": round(
+                    report.avg_offload_per_container_mib, 1
+                ),
+                "bandwidth_mibps": round(report.avg_remote_bandwidth_mibps, 3),
+                "density_x": round(report.improvement, 2),
+            }
+        )
+    print(render_table(rows, title="Web service density under FaaSMem (384 MiB quota)"))
+    print(
+        "\nReading: the quota reduction from stable offloading lets the node "
+        "pack `density_x` times as many web containers; density grows with "
+        "load while per-container bandwidth stays well below 1 MiB/s."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Comparison systems.
+
+* :class:`NoOffloadPolicy` — keep-alive without a memory pool (the
+  paper's baseline);
+* :class:`TmoPolicy` — feedback-based slow offloading modelled on TMO
+  (0.05 % of memory every 6 s, PSI-style backoff);
+* :class:`DamonPolicy` — sampling-based cold-page offloading modelled
+  on DAMON (constant access-bit scanning, offload on staleness),
+  which is stage-agnostic and therefore hurts tail latency (Fig. 2).
+"""
+
+from repro.baselines.no_offload import NoOffloadPolicy
+from repro.baselines.tmo import TmoConfig, TmoPolicy
+from repro.baselines.damon import DamonConfig, DamonPolicy
+
+__all__ = [
+    "NoOffloadPolicy",
+    "TmoPolicy",
+    "TmoConfig",
+    "DamonPolicy",
+    "DamonConfig",
+]

@@ -1,0 +1,15 @@
+"""The baseline: plain keep-alive, no memory pool."""
+
+from __future__ import annotations
+
+from repro.faas.policy import OffloadPolicy
+
+
+class NoOffloadPolicy(OffloadPolicy):
+    """Never offloads anything — every hook is a no-op.
+
+    This is the "serverless system without memory pool architecture"
+    the paper normalizes against.
+    """
+
+    name = "baseline"

@@ -1,0 +1,61 @@
+"""Shared machinery for periodically scanning policies (TMO, DAMON).
+
+Both baselines run a global periodic loop over all live containers.
+The loop is started lazily when the first container appears and stops
+itself when none remain, so the event heap always drains and
+``platform.run()`` terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faas.policy import OffloadPolicy
+from repro.sim.process import PeriodicTask
+
+
+class PeriodicScanPolicy(OffloadPolicy):
+    """Base class: subclasses implement :meth:`scan_container`."""
+
+    def __init__(self, interval_s: float) -> None:
+        super().__init__()
+        if interval_s <= 0:
+            raise ValueError(f"scan interval must be positive, got {interval_s}")
+        self.interval_s = interval_s
+        self._task: Optional[PeriodicTask] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_container_created(self, container) -> None:
+        self._ensure_running()
+
+    def detach(self) -> None:
+        self._stop()
+
+    def _ensure_running(self) -> None:
+        if self._task is None or not self._task.running:
+            self._task = PeriodicTask(
+                self.platform.engine,
+                self.interval_s,
+                self._tick,
+                name=f"scan:{self.name}",
+            )
+
+    def _stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        containers = self.platform.controller.all_containers()
+        if not containers:
+            self._stop()
+            return
+        for container in containers:
+            self.scan_container(container)
+
+    # -- subclass interface ----------------------------------------------------
+
+    def scan_container(self, container) -> None:
+        """Inspect one container and offload whatever the policy picks."""
+        raise NotImplementedError

@@ -1,0 +1,92 @@
+"""TMO-style feedback-based offloading (Weiner et al., ASPLOS'22).
+
+TMO offloads memory slowly — about 0.05 % of a workload's memory every
+6 seconds (§2.2) — and backs off when its pressure signal (PSI) shows
+the workload stalling on reclaimed memory. Over a 10-minute keep-alive
+that caps the offload at ~3 % of memory, which is why it barely helps
+transient serverless containers (§8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines.scanning import PeriodicScanPolicy
+from repro.mem.page import PageRegion, Segment
+
+
+@dataclass
+class TmoConfig:
+    """TMO knobs (paper-reported defaults)."""
+
+    interval_s: float = 6.0
+    step_fraction: float = 0.0005  # 0.05 % of memory per step
+    # PSI proxy: back off when a request recently stalled on faults
+    # for more than this fraction of its service time.
+    pressure_stall_s: float = 0.005
+    backoff_s: float = 60.0
+
+
+class TmoPolicy(PeriodicScanPolicy):
+    """Slow, feedback-gated cold-memory offloading."""
+
+    name = "tmo"
+
+    def __init__(self, config: TmoConfig = None) -> None:
+        self.config = config or TmoConfig()
+        super().__init__(interval_s=self.config.interval_s)
+        self._backoff_until: Dict[str, float] = {}
+
+    # -- feedback signal -------------------------------------------------------
+
+    def on_request_complete(self, container, record) -> None:
+        if record.fault_stall_s > self.config.pressure_stall_s:
+            # Pressure detected: stop offloading this container for a
+            # while (TMO's PSI feedback loop).
+            self._backoff_until[container.container_id] = (
+                self.platform.engine.now + self.config.backoff_s
+            )
+
+    def on_container_reclaimed(self, container) -> None:
+        self._backoff_until.pop(container.container_id, None)
+
+    # -- offload step --------------------------------------------------------
+
+    def scan_container(self, container) -> None:
+        now = self.platform.engine.now
+        if now < self._backoff_until.get(container.container_id, -1.0):
+            return
+        cgroup = container.cgroup
+        budget = max(1, int(cgroup.total_pages * self.config.step_fraction))
+        victims = self._coldest_victims(container, budget)
+        if victims:
+            self.platform.fastswap.offload(cgroup, victims)
+
+    def _coldest_victims(self, container, budget_pages: int) -> List[PageRegion]:
+        candidates = [
+            region
+            for segment in (Segment.RUNTIME, Segment.INIT)
+            for region in container.cgroup.local_regions(segment)
+            if not region.freed
+        ]
+        candidates.sort(
+            key=lambda r: (
+                r.last_access if r.last_access is not None else -1.0,
+                r.region_id,
+            )
+        )
+        victims: List[PageRegion] = []
+        remaining = budget_pages
+        for region in candidates:
+            if remaining <= 0:
+                break
+            if region.pages <= remaining:
+                victims.append(region)
+                remaining -= region.pages
+            else:
+                sibling = region.split(remaining)
+                container.cgroup.space.adopt(sibling)
+                victims.append(sibling)
+                remaining = 0
+        return victims

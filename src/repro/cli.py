@@ -1,0 +1,98 @@
+"""Command-line entry point: run paper experiments from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig12 [--json out.json] [--quick]
+    python -m repro run all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import list_experiments, run_experiment
+from repro.metrics.export import to_json
+from repro.units import HOUR
+
+# Reduced-scale kwargs for --quick runs (CI-friendly smoke scale).
+_QUICK_KWARGS = {
+    "fig01": {"duration": 6 * HOUR, "n_functions": 150},
+    "fig02": {"duration": 900.0},
+    "fig05": {"duration": 6 * HOUR, "n_functions": 150},
+    "fig08": {"duration": 300.0},
+    "fig12": {"duration": 1200.0},
+    "table1": {"duration": 1200.0},
+    "fig13": {"duration": 1800.0},
+    "fig14": {"duration": 6 * HOUR, "n_functions": 150},
+    "fig15": {"duration": 300.0},
+    "fig16": {"duration": 600.0, "n_traces": 8},
+    "cluster": {"duration": 900.0},
+    "pressure": {"duration": 900.0},
+    "node": {"duration": 1200.0, "n_functions": 40, "max_functions": 25},
+    "replication": {"duration": 600.0, "seeds": (1, 2, 3)},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="faasmem-repro",
+        description="FaaSMem (ASPLOS'24) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id, e.g. fig12, or 'all'")
+    runner.add_argument("--json", help="write the result to this JSON file")
+    runner.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale run (shorter traces, fewer functions)",
+    )
+    runner.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render the figure as a terminal plot",
+    )
+    return parser
+
+
+def _run_one(
+    name: str, quick: bool, json_path: Optional[str], plot: bool = False
+) -> None:
+    kwargs = dict(_QUICK_KWARGS.get(name, {})) if quick else {}
+    started = time.time()
+    result = run_experiment(name, **kwargs)
+    elapsed = time.time() - started
+    print(result.render())
+    if plot:
+        from repro.experiments.figures import render_figure
+
+        print()
+        print(render_figure(result))
+    print(f"[{name} finished in {elapsed:.1f}s]")
+    if json_path:
+        to_json({"rows": result.rows, "series": result.series}, json_path)
+        print(f"[wrote {json_path}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in list_experiments():
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in list_experiments():
+            _run_one(name, args.quick, None, plot=args.plot)
+            print()
+        return 0
+    _run_one(args.experiment, args.quick, args.json, plot=args.plot)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Multi-node cluster layer (paper §9 limitations / future work).
+
+The paper evaluates a single compute node against one memory pool and
+leaves load-imbalanced, memory-stranded fleets as future work. This
+package adds that layer: several compute nodes share one rack-level
+pool, a cluster scheduler places containers by quota against node
+capacity, and experiments can measure how memory pooling harvests
+stranded capacity and lifts cluster-wide deployment density.
+"""
+
+from repro.cluster.scheduler import ClusterScheduler, PlacementError
+from repro.cluster.cluster import Cluster, ClusterConfig, NodeStats
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "NodeStats",
+    "ClusterScheduler",
+    "PlacementError",
+]

@@ -1,0 +1,217 @@
+"""Cluster-level placement replay.
+
+Production schedulers deploy containers by *memory quota* (§8.6). The
+cluster layer replays a deployment event stream — container creations
+and reclaims, each with a quota — across several nodes, tracking
+committed capacity, stranded (free but unusable) capacity and
+rejections. Comparing a replay with original quotas against one with
+FaaSMem-reduced quotas measures the fleet-wide density win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.scheduler import ClusterScheduler, PlacementError, WorstFitScheduler
+from repro.errors import ReproError
+from repro.metrics.timeweighted import TimeWeightedAccumulator
+
+
+@dataclass
+class ClusterConfig:
+    """Fleet shape."""
+
+    n_nodes: int = 4
+    node_capacity_mib: float = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ReproError("cluster needs at least one node")
+        if self.node_capacity_mib <= 0:
+            raise ReproError("node capacity must be positive")
+
+
+@dataclass
+class NodeStats:
+    """Committed-quota accounting for one node."""
+
+    name: str
+    capacity_mib: float
+    committed: TimeWeightedAccumulator = field(
+        default_factory=lambda: TimeWeightedAccumulator(0.0, 0.0)
+    )
+
+    @property
+    def committed_mib(self) -> float:
+        return self.committed.value
+
+    @property
+    def free_mib(self) -> float:
+        return self.capacity_mib - self.committed_mib
+
+    @property
+    def peak_mib(self) -> float:
+        return self.committed.peak
+
+
+@dataclass
+class DeployEvent:
+    """One deployment-stream event."""
+
+    time: float
+    kind: str  # 'deploy' | 'release'
+    container_id: str
+    quota_mib: float = 0.0
+
+
+class Cluster:
+    """Replays a deployment stream against a fleet of nodes."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        scheduler: Optional[ClusterScheduler] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.scheduler = scheduler or WorstFitScheduler()
+        self.nodes: Dict[str, NodeStats] = {
+            f"node-{index}": NodeStats(
+                name=f"node-{index}", capacity_mib=self.config.node_capacity_mib
+            )
+            for index in range(self.config.n_nodes)
+        }
+        self._placement: Dict[str, Tuple[str, float]] = {}
+        self.rejections = 0
+        self.placements = 0
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    # Placement operations
+    # ------------------------------------------------------------------
+
+    def deploy(self, now: float, container_id: str, quota_mib: float) -> Optional[str]:
+        """Place a container; returns the node, or None when rejected."""
+        if container_id in self._placement:
+            raise ReproError(f"container {container_id!r} already placed")
+        if quota_mib <= 0:
+            raise ReproError(f"quota must be positive, got {quota_mib}")
+        self._clock = max(self._clock, now)
+        free = {name: node.free_mib for name, node in self.nodes.items()}
+        try:
+            chosen = self.scheduler.place(quota_mib, free)
+        except PlacementError:
+            self.rejections += 1
+            return None
+        node = self.nodes[chosen]
+        node.committed.add(now, quota_mib)
+        self._placement[container_id] = (chosen, quota_mib)
+        self.placements += 1
+        return chosen
+
+    def release(self, now: float, container_id: str) -> None:
+        """Free a container's committed quota."""
+        placed = self._placement.pop(container_id, None)
+        if placed is None:
+            return  # rejected at deploy time: nothing to free
+        self._clock = max(self._clock, now)
+        node_name, quota = placed
+        self.nodes[node_name].committed.add(now, -quota)
+
+    def replay(self, events: Iterable[DeployEvent]) -> "ClusterReport":
+        """Run a full event stream and summarize."""
+        ordered = sorted(events, key=lambda e: (e.time, e.kind != "release"))
+        for event in ordered:
+            if event.kind == "deploy":
+                self.deploy(event.time, event.container_id, event.quota_mib)
+            elif event.kind == "release":
+                self.release(event.time, event.container_id)
+            else:
+                raise ReproError(f"unknown event kind {event.kind!r}")
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> "ClusterReport":
+        end = max(self._clock, 1e-9)
+        per_node_avg = {
+            name: node.committed.average(end) for name, node in self.nodes.items()
+        }
+        return ClusterReport(
+            placements=self.placements,
+            rejections=self.rejections,
+            peak_committed_mib=sum(node.peak_mib for node in self.nodes.values()),
+            avg_committed_mib=sum(per_node_avg.values()),
+            capacity_mib=sum(node.capacity_mib for node in self.nodes.values()),
+            per_node_peak_mib={
+                name: node.peak_mib for name, node in self.nodes.items()
+            },
+        )
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of one replay."""
+
+    placements: int
+    rejections: int
+    peak_committed_mib: float
+    avg_committed_mib: float
+    capacity_mib: float
+    per_node_peak_mib: Dict[str, float]
+
+    @property
+    def admission_ratio(self) -> float:
+        total = self.placements + self.rejections
+        return self.placements / total if total else 1.0
+
+    @property
+    def peak_utilization(self) -> float:
+        return self.peak_committed_mib / self.capacity_mib
+
+    def row(self) -> dict:
+        return {
+            "placements": self.placements,
+            "rejections": self.rejections,
+            "admission_pct": round(100 * self.admission_ratio, 1),
+            "peak_committed_gib": round(self.peak_committed_mib / 1024, 2),
+            "avg_committed_gib": round(self.avg_committed_mib / 1024, 2),
+            "peak_util_pct": round(100 * self.peak_utilization, 1),
+        }
+
+
+def deployment_events_from_run(
+    platform,
+    quota_scale: Dict[str, float] = None,
+    horizon: Optional[float] = None,
+) -> List[DeployEvent]:
+    """Turn a finished platform run into a deployment stream.
+
+    ``quota_scale`` maps function name -> multiplier on its quota (the
+    FaaSMem replay passes each function's measured quota reduction,
+    e.g. 0.55 when 45 % of the quota is stably offloaded).
+    """
+    events: List[DeployEvent] = []
+    for history in platform.container_history:
+        spec = platform.function(history.function)
+        scale = (quota_scale or {}).get(history.function, 1.0)
+        if not 0 < scale <= 1.0:
+            raise ReproError(f"quota scale must be in (0, 1], got {scale}")
+        quota = spec.quota_mib * scale
+        events.append(
+            DeployEvent(
+                time=history.created_at,
+                kind="deploy",
+                container_id=history.container_id,
+                quota_mib=quota,
+            )
+        )
+        released = history.reclaimed_at
+        if released is None:
+            released = horizon if horizon is not None else platform.engine.now
+        events.append(
+            DeployEvent(time=released, kind="release", container_id=history.container_id)
+        )
+    return events

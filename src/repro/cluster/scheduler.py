@@ -1,0 +1,68 @@
+"""Quota-based container placement across compute nodes."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.errors import ReproError
+
+
+class PlacementError(ReproError):
+    """Raised when no node can host a container's quota."""
+
+
+class ClusterScheduler(abc.ABC):
+    """Chooses the node for each new container.
+
+    Schedulers see *committed quota*, not live usage: production
+    schedulers reserve each container's memory quota on its node, and
+    FaaSMem's density win is exactly that offloaded memory shrinks the
+    committed quota (§8.6).
+    """
+
+    @abc.abstractmethod
+    def place(self, quota_mib: float, free_mib: Dict[str, float]) -> str:
+        """Return the chosen node name.
+
+        Args:
+            quota_mib: the container's (possibly FaaSMem-reduced) quota.
+            free_mib: uncommitted capacity per node.
+        """
+
+
+class WorstFitScheduler(ClusterScheduler):
+    """Place on the node with the most free capacity (spreads load)."""
+
+    def place(self, quota_mib: float, free_mib: Dict[str, float]) -> str:
+        if not free_mib:
+            raise PlacementError("cluster has no nodes")
+        node, free = max(free_mib.items(), key=lambda item: (item[1], item[0]))
+        if free < quota_mib:
+            raise PlacementError(
+                f"no node can fit {quota_mib} MiB (best: {node} with {free:.0f})"
+            )
+        return node
+
+
+class BestFitScheduler(ClusterScheduler):
+    """Place on the fullest node that still fits (packs tightly)."""
+
+    def place(self, quota_mib: float, free_mib: Dict[str, float]) -> str:
+        candidates = [
+            (free, name) for name, free in free_mib.items() if free >= quota_mib
+        ]
+        if not candidates:
+            raise PlacementError(f"no node can fit {quota_mib} MiB")
+        _, node = min(candidates)
+        return node
+
+
+class FirstFitScheduler(ClusterScheduler):
+    """Place on the first node (by name) that fits."""
+
+    def place(self, quota_mib: float, free_mib: Dict[str, float]) -> str:
+        for name in sorted(free_mib):
+            if free_mib[name] >= quota_mib:
+                return name
+        raise PlacementError(f"no node can fit {quota_mib} MiB")

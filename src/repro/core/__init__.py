@@ -1,0 +1,30 @@
+"""FaaSMem: the paper's contribution.
+
+* :class:`Pucket` / :class:`ContainerMemoryState` — Page Buckets built
+  on MGLRU generations, time barriers, the shared hot page pool (§4);
+* segment-wise offloading: reactive for the Runtime Pucket (§5.1),
+  request-window based for the Init Pucket (§5.2), with periodic hot
+  page rollback (§5.3);
+* the semi-warm period: per-function start timing from the reused
+  interval CDF, gradual offload with bandwidth control (§6);
+* :class:`FaaSMemPolicy` — the full mechanism as an
+  :class:`~repro.faas.policy.OffloadPolicy` for the platform.
+"""
+
+from repro.core.config import FaaSMemConfig
+from repro.core.pucket import ContainerMemoryState, HotPagePool, Pucket
+from repro.core.windows import DescentWindowTracker
+from repro.core.profiler import FunctionProfiler
+from repro.core.semiwarm import SemiWarmController
+from repro.core.manager import FaaSMemPolicy
+
+__all__ = [
+    "FaaSMemConfig",
+    "Pucket",
+    "HotPagePool",
+    "ContainerMemoryState",
+    "DescentWindowTracker",
+    "FunctionProfiler",
+    "SemiWarmController",
+    "FaaSMemPolicy",
+]

@@ -1,0 +1,74 @@
+"""FaaSMem configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+
+
+@dataclass
+class FaaSMemConfig:
+    """All FaaSMem knobs, with the paper's defaults.
+
+    Ablation switches ``enable_pucket`` / ``enable_semiwarm`` reproduce
+    the §8.3 variants.
+    """
+
+    # -- ablation switches -------------------------------------------------
+    enable_pucket: bool = True
+    enable_semiwarm: bool = True
+
+    # -- init-Pucket request window (§5.2) ----------------------------------
+    # Window closes when the inactive count drops by less than
+    # ``gradient_epsilon`` (relative) for ``gradient_stable_rounds``
+    # consecutive requests, or after ``max_request_window`` requests.
+    gradient_epsilon: float = 0.02
+    gradient_stable_rounds: int = 3
+    max_request_window: int = 20
+
+    # -- periodic rollback (§5.3) -------------------------------------------
+    # A rollback needs both a full request window since the previous one
+    # and at least ``rollback_min_interval_s`` of wall time (t >= 10 s
+    # keeps the measured overhead below 0.1 %, §8.5).
+    rollback_min_interval_s: float = 10.0
+
+    # -- semi-warm (§6) -----------------------------------------------------
+    semiwarm_percentile: float = 99.0  # pessimistic start timing
+    # §8.3.2 extension: under bursty load the collected reused
+    # intervals are biased low because requests that cold-started are
+    # not counted. When enabled, each observed cold start adds a
+    # right-censored sample at ``coldstart_censor_s`` (the keep-alive
+    # bound), correcting the percentile estimate.
+    coldstart_aware_timing: bool = False
+    coldstart_censor_s: float = 600.0
+    semiwarm_min_samples: int = 5
+    semiwarm_fallback_s: float = 60.0  # timing before enough history exists
+    semiwarm_tick_s: float = 1.0
+    percent_rate_per_s: float = 0.01  # percentile-based mode: 1 %/s
+    amount_rate_mib_per_s: float = 1.0  # amount-based mode: 1 MiB/s
+    large_container_mib: float = 256.0  # above this, use percentile mode
+
+    # -- overhead model (§8.5) ----------------------------------------------
+    barrier_base_s: float = 0.5e-3
+    barrier_per_page_s: float = 45e-9
+    rollback_base_s: float = 0.2e-3
+    rollback_per_page_s: float = 45e-9
+
+    def __post_init__(self) -> None:
+        if not 0 < self.semiwarm_percentile <= 100:
+            raise PolicyError(
+                f"semiwarm_percentile must be in (0, 100], got {self.semiwarm_percentile}"
+            )
+        if self.gradient_epsilon < 0:
+            raise PolicyError("gradient_epsilon must be non-negative")
+        if self.gradient_stable_rounds < 1:
+            raise PolicyError("gradient_stable_rounds must be at least 1")
+        if self.max_request_window < 1:
+            raise PolicyError("max_request_window must be at least 1")
+        if self.rollback_min_interval_s < 0:
+            raise PolicyError("rollback_min_interval_s must be non-negative")
+        if self.semiwarm_tick_s <= 0:
+            raise PolicyError("semiwarm_tick_s must be positive")
+        if self.percent_rate_per_s <= 0 or self.amount_rate_mib_per_s <= 0:
+            raise PolicyError("semi-warm offload rates must be positive")

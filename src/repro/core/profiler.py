@@ -1,0 +1,96 @@
+"""Per-function real-time profiling (§5.2, §6.1).
+
+The profiler aggregates two kinds of history per function:
+
+* **container reused intervals** — how long containers idle before the
+  next request; their high percentile sets the semi-warm start timing.
+  Historical priors (from the invocation trace) can seed the
+  distribution, matching the paper's offline analysis; online reuse
+  observations keep extending it.
+* **request windows** — the Init Pucket window sizes containers
+  discovered, reused as the rollback cadence and as the starting
+  window for new containers of the same function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import FaaSMemConfig
+
+
+class FunctionProfiler:
+    """History store shared by all containers of a platform."""
+
+    def __init__(
+        self,
+        config: FaaSMemConfig,
+        reuse_priors: Optional[Dict[str, Sequence[float]]] = None,
+    ) -> None:
+        self.config = config
+        self._reuse: Dict[str, List[float]] = {
+            name: list(values) for name, values in (reuse_priors or {}).items()
+        }
+        self._windows: Dict[str, List[int]] = {}
+        self._cold_starts: Dict[str, int] = {}
+
+    # -- reused intervals -----------------------------------------------------
+
+    def record_reuse(self, function: str, interval_s: float) -> None:
+        """Record one observed container reuse interval."""
+        if interval_s < 0:
+            raise ValueError(f"interval must be non-negative, got {interval_s}")
+        self._reuse.setdefault(function, []).append(interval_s)
+
+    def reuse_samples(self, function: str) -> List[float]:
+        return list(self._reuse.get(function, []))
+
+    def record_cold_start(self, function: str) -> None:
+        """Note a cold start (a reuse that *didn't* happen in time).
+
+        Only used by the cold-start-aware timing extension (§8.3.2):
+        each cold start is a right-censored reuse interval at the
+        keep-alive bound.
+        """
+        self._cold_starts[function] = self._cold_starts.get(function, 0) + 1
+
+    def cold_start_count(self, function: str) -> int:
+        return self._cold_starts.get(function, 0)
+
+    def semiwarm_start_timing(self, function: str) -> float:
+        """Semi-warm start delay after idle (§6.1).
+
+        The pessimistic estimate: the ``semiwarm_percentile`` (99 %-ile
+        by default) of the reused-interval distribution. Falls back to
+        ``semiwarm_fallback_s`` until enough samples exist. With
+        ``coldstart_aware_timing`` the distribution additionally
+        carries one censored sample per observed cold start, lifting
+        the percentile under bursty, cold-start-heavy load.
+        """
+        samples = list(self._reuse.get(function, []))
+        if self.config.coldstart_aware_timing:
+            samples = samples + [self.config.coldstart_censor_s] * self._cold_starts.get(
+                function, 0
+            )
+        if len(samples) < self.config.semiwarm_min_samples:
+            return self.config.semiwarm_fallback_s
+        return float(
+            np.percentile(np.asarray(samples), self.config.semiwarm_percentile)
+        )
+
+    # -- request windows --------------------------------------------------------
+
+    def record_window(self, function: str, window: int) -> None:
+        """Record an Init Pucket window a container converged to."""
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        self._windows.setdefault(function, []).append(window)
+
+    def typical_window(self, function: str) -> Optional[int]:
+        """Median discovered window for the function, if any."""
+        windows = self._windows.get(function)
+        if not windows:
+            return None
+        return int(np.median(np.asarray(windows)))

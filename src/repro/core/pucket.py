@@ -1,0 +1,269 @@
+"""Page Buckets (Puckets), time barriers and the shared hot page pool.
+
+A Pucket segregates the pages of one lifecycle segment (§4). Pages
+start on the Pucket's inactive list; a revisited page moves to the
+container's shared hot page pool; the remaining inactive pages are the
+safe offloading candidates. Rollback (§5.3) returns hot-pool pages to
+their origin Puckets so their activity can be re-evaluated.
+
+Puckets are built on the cgroup's MGLRU: creating a Pucket inserts a
+time barrier by opening a new MGLRU generation, exactly like the
+kernel implementation (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.config import FaaSMemConfig
+from repro.errors import PolicyError
+from repro.mem.cgroup import Cgroup
+from repro.mem.page import PageRegion, Segment
+
+
+class Pucket:
+    """One Page Bucket: the inactive list plus its offloaded members."""
+
+    def __init__(self, name: str, segment: Segment) -> None:
+        self.name = name
+        self.segment = segment
+        self._inactive: Dict[int, PageRegion] = {}
+        self._offloaded: Dict[int, PageRegion] = {}
+
+    # -- membership ---------------------------------------------------------
+
+    def add_inactive(self, region: PageRegion) -> None:
+        self._inactive[region.region_id] = region
+
+    def pop_inactive(self, region: PageRegion) -> bool:
+        """Remove from the inactive list; True if it was there."""
+        return self._inactive.pop(region.region_id, None) is not None
+
+    def note_offloaded(self, region: PageRegion) -> None:
+        """Track a member that went remote (it stays a Pucket page)."""
+        self._inactive.pop(region.region_id, None)
+        self._offloaded[region.region_id] = region
+
+    def pop_offloaded(self, region: PageRegion) -> bool:
+        """Remove from the offloaded set; True if it was there."""
+        return self._offloaded.pop(region.region_id, None) is not None
+
+    def forget(self, region: PageRegion) -> None:
+        """Drop a freed region from all lists."""
+        self._inactive.pop(region.region_id, None)
+        self._offloaded.pop(region.region_id, None)
+
+    # -- introspection --------------------------------------------------------
+
+    def contains_inactive(self, region: PageRegion) -> bool:
+        return region.region_id in self._inactive
+
+    def contains_offloaded(self, region: PageRegion) -> bool:
+        return region.region_id in self._offloaded
+
+    @property
+    def inactive_regions(self) -> List[PageRegion]:
+        return list(self._inactive.values())
+
+    @property
+    def inactive_pages(self) -> int:
+        return sum(region.pages for region in self._inactive.values())
+
+    @property
+    def offloaded_pages(self) -> int:
+        return sum(region.pages for region in self._offloaded.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Pucket({self.name}, inactive={len(self._inactive)}, "
+            f"offloaded={len(self._offloaded)})"
+        )
+
+
+class HotPagePool:
+    """The shared pool of revisited (hot) pages of one container.
+
+    Each entry remembers its origin Pucket so rollback can return it.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[PageRegion, Pucket]] = {}
+
+    def add(self, region: PageRegion, origin: Pucket) -> None:
+        self._entries[region.region_id] = (region, origin)
+
+    def discard(self, region: PageRegion) -> bool:
+        return self._entries.pop(region.region_id, None) is not None
+
+    def __contains__(self, region: PageRegion) -> bool:
+        return region.region_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def regions(self) -> List[PageRegion]:
+        return [region for region, _ in self._entries.values()]
+
+    @property
+    def pages(self) -> int:
+        return sum(region.pages for region, _ in self._entries.values())
+
+    def entries(self) -> List[Tuple[PageRegion, Pucket]]:
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class OverheadLog:
+    """Measured-equivalent costs of barrier insertion and rollback (§8.5)."""
+
+    runtime_init_barrier_s: float = 0.0
+    init_exec_barrier_s: float = 0.0
+    rollback_samples_s: List[float] = field(default_factory=list)
+
+    @property
+    def max_rollback_s(self) -> float:
+        return max(self.rollback_samples_s) if self.rollback_samples_s else 0.0
+
+
+class ContainerMemoryState:
+    """Per-container Pucket machinery.
+
+    Created when the runtime segment finishes loading; the init Pucket
+    appears when initialization completes. All page movements flow
+    through :meth:`on_touched`.
+    """
+
+    def __init__(self, cgroup: Cgroup, config: FaaSMemConfig) -> None:
+        self.cgroup = cgroup
+        self.config = config
+        self.runtime_pucket = Pucket("runtime", Segment.RUNTIME)
+        self.init_pucket = Pucket("init", Segment.INIT)
+        self.hot_pool = HotPagePool()
+        self.overhead = OverheadLog()
+        self.recall_counts: Dict[str, int] = {"runtime": 0, "init": 0}
+        self._init_barrier_inserted = False
+
+    # ------------------------------------------------------------------
+    # Time barriers
+    # ------------------------------------------------------------------
+
+    def insert_runtime_init_barrier(self, now: float) -> float:
+        """Seal the runtime segment into the Runtime Pucket.
+
+        Returns the modelled (blocking) insertion cost.
+        """
+        for region in self.cgroup.space.regions(Segment.RUNTIME):
+            if region.is_local:
+                self.runtime_pucket.add_inactive(region)
+        self.cgroup.mglru.new_generation(now, label="runtime-init-barrier")
+        cost = (
+            self.config.barrier_base_s
+            + self.runtime_pucket.inactive_pages * self.config.barrier_per_page_s
+        )
+        self.overhead.runtime_init_barrier_s = cost
+        return cost
+
+    def insert_init_exec_barrier(self, now: float) -> float:
+        """Seal the init segment into the Init Pucket."""
+        if self._init_barrier_inserted:
+            raise PolicyError("init-exec barrier inserted twice")
+        self._init_barrier_inserted = True
+        for region in self.cgroup.space.regions(Segment.INIT):
+            if region.is_local:
+                self.init_pucket.add_inactive(region)
+        self.cgroup.mglru.new_generation(now, label="init-exec-barrier")
+        cost = (
+            self.config.barrier_base_s
+            + self.init_pucket.inactive_pages * self.config.barrier_per_page_s
+        )
+        self.overhead.init_exec_barrier_s = cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # Access-driven movement
+    # ------------------------------------------------------------------
+
+    def on_touched(self, region: PageRegion, was_remote: bool = False) -> None:
+        """A request touched ``region``: promote it to the hot pool.
+
+        Handles both first-touch promotion off an inactive list and the
+        recall of a previously offloaded Pucket page (which the swap
+        layer has already faulted back in). ``was_remote`` distinguishes
+        a true remote recall from an aborted in-flight offload.
+        """
+        for pucket in (self.runtime_pucket, self.init_pucket):
+            if pucket.pop_inactive(region):
+                self.hot_pool.add(region, pucket)
+                return
+            if pucket.pop_offloaded(region):
+                if was_remote:
+                    self.recall_counts[pucket.name] += 1
+                self.hot_pool.add(region, pucket)
+                return
+        # Already hot, or an untracked (exec) region: nothing to do.
+
+    def on_freed(self, region: PageRegion) -> None:
+        """Forget a freed region everywhere."""
+        self.runtime_pucket.forget(region)
+        self.init_pucket.forget(region)
+        self.hot_pool.discard(region)
+
+    # ------------------------------------------------------------------
+    # Offload bookkeeping
+    # ------------------------------------------------------------------
+
+    def offload_candidates(self, pucket: Pucket) -> List[PageRegion]:
+        """Local, still-inactive members of ``pucket``."""
+        return [region for region in pucket.inactive_regions if region.is_local]
+
+    def note_offload(self, region: PageRegion) -> None:
+        """Record that ``region`` has been sent to the pool."""
+        for pucket in (self.runtime_pucket, self.init_pucket):
+            if pucket.contains_inactive(region):
+                pucket.note_offloaded(region)
+                return
+        if self.hot_pool.discard(region):
+            # A hot page offloaded by semi-warm: remember its origin as
+            # its segment Pucket so a recall is attributed correctly.
+            origin = (
+                self.runtime_pucket
+                if region.segment is Segment.RUNTIME
+                else self.init_pucket
+            )
+            origin.note_offloaded(region)
+
+    # ------------------------------------------------------------------
+    # Rollback (§5.3)
+    # ------------------------------------------------------------------
+
+    def roll_back_hot_pool(self, now: float) -> float:
+        """Return every hot-pool page to its origin Pucket.
+
+        Returns the modelled rollback cost (Fig. 15 bottom).
+        """
+        pages = self.hot_pool.pages
+        for region, origin in self.hot_pool.entries():
+            origin.add_inactive(region)
+        self.hot_pool.clear()
+        self.cgroup.mglru.new_generation(now, label="rollback")
+        cost = self.config.rollback_base_s + pages * self.config.rollback_per_page_s
+        self.overhead.rollback_samples_s.append(cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def local_resident_pages(self) -> int:
+        """Local pages under Pucket/hot-pool management."""
+        return (
+            self.runtime_pucket.inactive_pages
+            + self.init_pucket.inactive_pages
+            + self.hot_pool.pages
+        )

@@ -1,0 +1,63 @@
+"""Request-window sizing by descent-gradient monitoring (§5.2).
+
+FaaSMem watches how the Init Pucket's inactive page count falls as
+requests execute. When the descent gradient approaches zero — the
+count stops changing meaningfully — the window closes and the
+remaining inactive pages are offloaded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import FaaSMemConfig
+
+
+class DescentWindowTracker:
+    """Observes per-request inactive counts and decides window closure.
+
+    >>> tracker = DescentWindowTracker(FaaSMemConfig(gradient_stable_rounds=2))
+    >>> [tracker.observe(c) for c in (100, 60, 59, 59)]
+    [False, False, False, True]
+    >>> tracker.window_size
+    4
+    """
+
+    def __init__(self, config: Optional[FaaSMemConfig] = None) -> None:
+        self.config = config or FaaSMemConfig()
+        self.counts: List[int] = []
+        self._stable_rounds = 0
+        self.window_size: Optional[int] = None
+
+    @property
+    def closed(self) -> bool:
+        """Whether the request window has been determined."""
+        return self.window_size is not None
+
+    def observe(self, inactive_count: int) -> bool:
+        """Record the count after one request; True when the window closes.
+
+        Returns True exactly once, on the closing observation.
+        """
+        if inactive_count < 0:
+            raise ValueError(f"count must be non-negative, got {inactive_count}")
+        if self.closed:
+            return False
+        previous = self.counts[-1] if self.counts else None
+        self.counts.append(inactive_count)
+        if previous is not None:
+            if previous == 0:
+                gradient = 0.0
+            else:
+                gradient = (previous - inactive_count) / previous
+            if gradient <= self.config.gradient_epsilon:
+                self._stable_rounds += 1
+            else:
+                self._stable_rounds = 0
+        if (
+            self._stable_rounds >= self.config.gradient_stable_rounds
+            or len(self.counts) >= self.config.max_request_window
+        ):
+            self.window_size = len(self.counts)
+            return True
+        return False

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the FaaSMem reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine is misused.
+
+    Examples: scheduling an event in the past, or stepping a finished
+    engine.
+    """
+
+
+class MemoryError_(ReproError):
+    """Raised on invalid memory operations.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`.
+    """
+
+
+class CapacityError(MemoryError_):
+    """Raised when a node or pool cannot satisfy an allocation."""
+
+
+class LifecycleError(ReproError):
+    """Raised on invalid container lifecycle transitions."""
+
+
+class PolicyError(ReproError):
+    """Raised when an offloading policy is misconfigured or misused."""
+
+
+class TraceError(ReproError):
+    """Raised on malformed invocation traces."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload profile is invalid or unknown."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

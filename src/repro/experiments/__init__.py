@@ -1,0 +1,26 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Every experiment exposes ``run(**kwargs) -> ExperimentResult`` and is
+registered in :mod:`repro.experiments.registry`; the CLI
+(``python -m repro <id>``) and the benchmark suite both go through the
+registry. See DESIGN.md for the experiment index and EXPERIMENTS.md
+for paper-vs-measured outcomes.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    make_reuse_priors,
+    run_benchmark_trace,
+    system_factories,
+)
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "run_benchmark_trace",
+    "make_reuse_priors",
+    "system_factories",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,115 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baselines import DamonPolicy, NoOffloadPolicy, TmoPolicy
+from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.faas.policy import OffloadPolicy
+from repro.metrics.export import render_table
+from repro.metrics.summary import RunSummary
+from repro.traces.analysis import reused_intervals
+from repro.traces.model import FunctionTrace
+from repro.units import MINUTE
+from repro.workloads import get_profile
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output of every experiment harness."""
+
+    experiment: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    series: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report: title, table, notes."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def make_reuse_priors(
+    trace: FunctionTrace,
+    function: str,
+    keep_alive_s: float = 10 * MINUTE,
+    exec_time_s: float = 0.2,
+) -> Dict[str, List[float]]:
+    """Per-function reused-interval priors from the invocation history.
+
+    This mirrors the paper's offline step: "it gathers the historical
+    invocation trace of each function, and then analyzes the
+    distribution of container reused intervals" (§6.1).
+    """
+    intervals = reused_intervals(trace.timestamps, keep_alive_s, exec_time_s)
+    return {function: intervals}
+
+
+def run_benchmark_trace(
+    policy: OffloadPolicy,
+    benchmark: str,
+    trace: FunctionTrace,
+    config: Optional[PlatformConfig] = None,
+    trace_label: str = "",
+) -> RunSummary:
+    """Run one (policy, benchmark, trace) combination to completion."""
+    platform = ServerlessPlatform(policy, config=config)
+    platform.register_function(benchmark, get_profile(benchmark))
+    platform.run_trace((t, benchmark) for t in trace.timestamps)
+    # Metrics are reported over the trace window, as in the paper; the
+    # simulation itself runs on until the last keep-alive expires.
+    return platform.summarize(
+        benchmark, trace_label or trace.name, window=trace.duration
+    )
+
+
+def faasmem_factory(
+    trace: Optional[FunctionTrace] = None,
+    benchmark: Optional[str] = None,
+    config: Optional[FaaSMemConfig] = None,
+    keep_alive_s: float = 10 * MINUTE,
+    history: Optional[FunctionTrace] = None,
+) -> Callable[[], FaaSMemPolicy]:
+    """FaaSMem constructor with trace-derived reuse priors.
+
+    ``history`` is the longer invocation history used for the priors
+    (the paper profiles each function's historical trace, §6.1); it
+    defaults to the evaluation trace itself.
+    """
+
+    def build() -> FaaSMemPolicy:
+        priors = None
+        source = history if history is not None else trace
+        if source is not None and benchmark is not None:
+            profile = get_profile(benchmark)
+            priors = make_reuse_priors(
+                source, benchmark, keep_alive_s, profile.exec_time_s
+            )
+        return FaaSMemPolicy(config=config, reuse_priors=priors)
+
+    return build
+
+
+def system_factories(
+    trace: Optional[FunctionTrace] = None,
+    benchmark: Optional[str] = None,
+    include_damon: bool = False,
+    history: Optional[FunctionTrace] = None,
+) -> Dict[str, Callable[[], OffloadPolicy]]:
+    """The paper's comparison set: baseline, TMO, FaaSMem (+DAMON)."""
+    factories: Dict[str, Callable[[], OffloadPolicy]] = {
+        "baseline": NoOffloadPolicy,
+        "tmo": TmoPolicy,
+        "faasmem": faasmem_factory(trace, benchmark, history=history),
+    }
+    if include_damon:
+        factories["damon"] = DamonPolicy
+    return factories

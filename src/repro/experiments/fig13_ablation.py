@@ -1,0 +1,95 @@
+"""Fig. 13 — ablation of Pucket and semi-warm on Bert.
+
+Four variants — baseline, full FaaSMem, FaaSMem without Pucket,
+FaaSMem without semi-warm — under a common-case high-load trace and a
+much burstier trace. The paper finds:
+
+* disabling Pucket raises memory (cold pages linger until semi-warm)
+  but slightly lowers P95 (no early offload, no recalls);
+* disabling semi-warm leaves the footprint parallel to the baseline
+  (memory only drops at keep-alive expiry);
+* under the bursty trace, semi-warm partly subsumes Pucket, and the
+  pessimistic 99 %-ile timing misestimates P99 (cold-start-inflated
+  reuse intervals), which is why the paper targets P95, not P99.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines import NoOffloadPolicy
+from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.experiments.common import (
+    ExperimentResult,
+    make_reuse_priors,
+    run_benchmark_trace,
+)
+from repro.traces.azure import sample_function_trace
+from repro.units import HOUR
+from repro.workloads import get_profile
+
+VARIANTS: Dict[str, Optional[FaaSMemConfig]] = {
+    "baseline": None,
+    "faasmem": FaaSMemConfig(),
+    "faasmem-no-pucket": FaaSMemConfig(enable_pucket=False),
+    "faasmem-no-semiwarm": FaaSMemConfig(enable_semiwarm=False),
+}
+
+
+def run(
+    benchmark: str = "bert",
+    duration: float = 2 * HOUR,
+    common_seed: int = 42,
+    bursty_seed: int = 77,
+) -> ExperimentResult:
+    """Run the four variants on the common and bursty traces."""
+    result = ExperimentResult(
+        experiment="fig13",
+        title=f"Ablation of Pucket and semi-warm ({benchmark})",
+    )
+    profile = get_profile(benchmark)
+    timelines = {}
+    for case, load, seed in (
+        ("common", "high", common_seed),
+        ("bursty", "bursty", bursty_seed),
+    ):
+        trace = sample_function_trace(load, duration=duration, seed=seed, name=case)
+        history = sample_function_trace(
+            load, duration=4 * duration, seed=seed, name="history"
+        )
+        priors = make_reuse_priors(history, benchmark, exec_time_s=profile.exec_time_s)
+        baseline_summary = None
+        for variant, config in VARIANTS.items():
+            if config is None:
+                policy = NoOffloadPolicy()
+            else:
+                policy = FaaSMemPolicy(config=config, reuse_priors=priors)
+            summary = run_benchmark_trace(policy, benchmark, trace, trace_label=case)
+            if variant == "baseline":
+                baseline_summary = summary
+            timelines[(case, variant)] = summary.memory.resample(step=30.0)
+            result.rows.append(
+                {
+                    "case": case,
+                    "variant": variant,
+                    "avg_mem_mib": round(summary.memory.average_mib, 1),
+                    "norm_mem": round(
+                        summary.memory.average_mib
+                        / baseline_summary.memory.average_mib,
+                        3,
+                    ),
+                    "avg_s": round(summary.latency_mean, 4),
+                    "p50_s": round(summary.latency_p50, 4),
+                    "p95_s": round(summary.latency_p95, 4),
+                    "p99_s": round(summary.latency_p99, 4),
+                }
+            )
+    result.series["timelines"] = {
+        f"{case}/{variant}": points for (case, variant), points in timelines.items()
+    }
+    result.notes.append(
+        "paper: -19.3% memory from Pucket (common case), -28.6% from "
+        "semi-warm; bursty case: semi-warm partly subsumes Pucket and "
+        "P99 is misestimated (+25%) while P95 holds"
+    )
+    return result

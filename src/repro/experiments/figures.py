@@ -1,0 +1,165 @@
+"""Terminal renderings of the paper's figures.
+
+``render_figure`` turns an :class:`ExperimentResult` into the closest
+terminal equivalent of the paper's plot (bar chart, CDF, timeline),
+so ``python -m repro run fig12 --plot`` shows the figure, not just the
+table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.common import ExperimentResult
+from repro.metrics.plots import bar_chart, cdf_chart, line_chart, scatter_summary
+
+
+def render_figure(result: ExperimentResult) -> str:
+    """Best-effort terminal plot for an experiment result."""
+    renderer = _RENDERERS.get(result.experiment)
+    if renderer is None:
+        return "(no figure renderer for this experiment; see the table above)"
+    return renderer(result)
+
+
+def _fig01(result: ExperimentResult) -> str:
+    timeouts = result.series["timeouts"]
+    inactive = [
+        (f"{int(t)}s", 100 * f)
+        for t, f in zip(timeouts, result.series["inactive_fraction"])
+    ]
+    cold = [
+        (f"{int(t)}s", 100 * f)
+        for t, f in zip(timeouts, result.series["cold_start_ratio"])
+    ]
+    return (
+        bar_chart(inactive, title="memory inactive time (%)", unit="%")
+        + "\n\n"
+        + bar_chart(cold, title="cold-start ratio (%)", unit="%")
+    )
+
+
+def _fig02(result: ExperimentResult) -> str:
+    return bar_chart(
+        [(row["benchmark"], row["slowdown_x"]) for row in result.rows],
+        title="P95 slowdown under DAMON (x)",
+        unit="x",
+    )
+
+
+def _fig04(result: ExperimentResult) -> str:
+    return bar_chart(
+        [
+            (f"{row['platform']}/{row['language']}", row["inactive_mib"])
+            for row in result.rows
+        ],
+        title="inactive runtime memory (MiB)",
+    )
+
+
+def _fig05(result: ExperimentResult) -> str:
+    return cdf_chart(
+        result.series["counts"],
+        title="CDF of requests per container",
+    )
+
+
+def _fig06(result: ExperimentResult) -> str:
+    timeline = [(p["time_s"], p["resident_mib"]) for p in result.series["timeline"]]
+    return line_chart(timeline, title="Bert resident memory (MiB)", y_label="MiB")
+
+
+def _fig08(result: ExperimentResult) -> str:
+    return bar_chart(
+        [(row["benchmark"], row["runtime_recalls"]) for row in result.rows],
+        title="Runtime Pucket recalls",
+    )
+
+
+def _fig09(result: ExperimentResult) -> str:
+    top = sorted(result.rows, key=lambda r: -r["hits"])[:12]
+    return bar_chart(
+        [(f"obj-{row['object']}", row["hits"]) for row in top],
+        title="hits per cached page (top 12)",
+    )
+
+
+def _fig11(result: ExperimentResult) -> str:
+    xs = [x for x, _ in result.series["reuse_cdf"]]
+    left = cdf_chart(xs, title="container reused intervals (CDF)")
+    timeline = [
+        (p["time_s"], p["local_mib"]) for p in result.series["memory_timeline"]
+    ]
+    right = line_chart(timeline, title="local memory during semi-warm (MiB)", height=8)
+    timing = result.series["semiwarm_start_s"]
+    return left + f"\n(semi-warm start timing = {timing:.1f}s)\n\n" + right
+
+
+def _fig12(result: ExperimentResult) -> str:
+    parts = []
+    for load in ("high", "low"):
+        rows = [
+            (row["benchmark"], row["mem_saving_pct"])
+            for row in result.rows
+            if row["system"] == "faasmem" and row["load"] == load
+        ]
+        if rows:
+            parts.append(
+                bar_chart(rows, title=f"FaaSMem memory saving, {load} load (%)", unit="%")
+            )
+    return "\n\n".join(parts)
+
+
+def _fig13(result: ExperimentResult) -> str:
+    parts = []
+    for key, points in result.series.get("timelines", {}).items():
+        if key.startswith("common/"):
+            mib = [(t, v * 4096 / 2**20) for t, v in points]
+            parts.append(line_chart(mib, title=f"{key} (MiB)", height=8))
+    return "\n\n".join(parts) if parts else "(no timelines)"
+
+
+def _fig14(result: ExperimentResult) -> str:
+    return bar_chart(
+        [
+            (row["load_class"], row["share_gt_50pct"])
+            for row in result.rows
+        ],
+        title="functions with semi-warm > 1/2 lifetime (%)",
+        unit="%",
+    )
+
+
+def _fig15(result: ExperimentResult) -> str:
+    return bar_chart(
+        [(row["benchmark"], row["init_exec_barrier_ms"]) for row in result.rows],
+        title="init-exec barrier insertion (ms)",
+        unit="ms",
+    )
+
+
+def _fig16(result: ExperimentResult) -> str:
+    parts = []
+    for app in ("bert", "graph", "web"):
+        rows = [r for r in result.rows if r["app"] == app]
+        buckets = scatter_summary(rows, "req_per_min", "density_x")
+        if buckets:
+            parts.append(bar_chart(buckets, title=f"{app}: density vs load", unit="x"))
+    return "\n\n".join(parts)
+
+
+_RENDERERS: Dict[str, Callable[[ExperimentResult], str]] = {
+    "fig01": _fig01,
+    "fig02": _fig02,
+    "fig04": _fig04,
+    "fig05": _fig05,
+    "fig06": _fig06,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+}

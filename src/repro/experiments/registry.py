@@ -1,0 +1,68 @@
+"""Experiment registry: id -> harness, for the CLI and the bench suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    cluster_density,
+    fig11_semiwarm_overview,
+    node_mixed,
+    pressure,
+    replication,
+    fig01_keepalive,
+    fig02_damon,
+    fig04_runtime_memory,
+    fig05_requests_cdf,
+    fig06_bert_scan,
+    fig08_runtime_recalls,
+    fig09_web_scan,
+    fig12_azure_eval,
+    fig13_ablation,
+    fig14_semiwarm_applicability,
+    fig15_overhead,
+    fig16_density,
+    table1_diverse_traces,
+)
+
+_REGISTRY: Dict[str, Callable] = {
+    "fig01": fig01_keepalive.run,
+    "fig02": fig02_damon.run,
+    "fig04": fig04_runtime_memory.run,
+    "fig05": fig05_requests_cdf.run,
+    "fig06": fig06_bert_scan.run,
+    "fig08": fig08_runtime_recalls.run,
+    "fig09": fig09_web_scan.run,
+    "fig11": fig11_semiwarm_overview.run,
+    "fig12": fig12_azure_eval.run,
+    "table1": table1_diverse_traces.run,
+    "fig13": fig13_ablation.run,
+    "fig14": fig14_semiwarm_applicability.run,
+    "fig15": fig15_overhead.run,
+    "fig16": fig16_density.run,
+    # Beyond the paper's figures:
+    "cluster": cluster_density.run,
+    "pressure": pressure.run,
+    "node": node_mixed.run,
+    "replication": replication.replicate,
+}
+
+
+def get_experiment(name: str) -> Callable:
+    """Look up an experiment harness by id (e.g. ``"fig12"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(f"unknown experiment {name!r}; known: {known}") from None
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(name: str, **kwargs):
+    """Run an experiment by id with optional harness kwargs."""
+    return get_experiment(name)(**kwargs)

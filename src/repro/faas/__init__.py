@@ -1,0 +1,43 @@
+"""Serverless platform substrate.
+
+Containers follow the paper's lifecycle (launch -> init -> execute ->
+keep-alive -> reclaim), a controller scales out one container per
+concurrent request (cold start) and routes requests to idle warm
+containers, and the platform object wires the memory model, the pool
+and an offloading policy together around one discrete-event engine.
+"""
+
+from repro.faas.request import Invocation, RequestRecord
+from repro.faas.function import FunctionSpec
+from repro.faas.policy import OffloadPolicy
+from repro.faas.container import Container, ContainerState
+from repro.faas.keepalive import (
+    FixedKeepAlive,
+    HistogramKeepAlive,
+    KeepAlivePolicy,
+    PerFunctionKeepAlive,
+)
+from repro.faas.controller import Controller
+from repro.faas.platform import PlatformConfig, ServerlessPlatform
+from repro.faas.prewarm import Prewarmer
+from repro.faas.provisioning import plan_rack
+from repro.faas.density import estimate_density
+
+__all__ = [
+    "Invocation",
+    "RequestRecord",
+    "FunctionSpec",
+    "OffloadPolicy",
+    "Container",
+    "ContainerState",
+    "KeepAlivePolicy",
+    "FixedKeepAlive",
+    "PerFunctionKeepAlive",
+    "HistogramKeepAlive",
+    "Controller",
+    "PlatformConfig",
+    "ServerlessPlatform",
+    "Prewarmer",
+    "plan_rack",
+    "estimate_density",
+]

@@ -1,0 +1,368 @@
+"""The serverless container lifecycle state machine.
+
+A container walks through the stages of Fig. 3: **launch** (runtime
+segment allocated), **init** (init segment allocated, transient init
+scratch freed at the end), then alternating **execution** and
+**keep-alive**. Exec-segment scratch lives only while a request runs.
+Requests that touch offloaded regions stall on the swap datapath and
+the stall is charged to their service time.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+import numpy as np
+
+from repro.errors import LifecycleError
+from repro.faas.request import Invocation, RequestRecord
+from repro.mem.cgroup import Cgroup
+from repro.mem.page import PageRegion, Segment
+from repro.sim.process import PeriodicTask, Timer
+from repro.units import pages_from_mib
+from repro.workloads.profile import InitState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faas.platform import ServerlessPlatform
+    from repro.faas.function import FunctionSpec
+
+
+class ContainerState(enum.Enum):
+    LAUNCHING = "launching"
+    INITIALIZING = "initializing"
+    IDLE = "idle"
+    BUSY = "busy"
+    RECLAIMED = "reclaimed"
+
+
+class Container:
+    """One function container on the compute node."""
+
+    def __init__(
+        self,
+        platform: "ServerlessPlatform",
+        function: "FunctionSpec",
+        container_id: str,
+    ) -> None:
+        self.platform = platform
+        self.function = function
+        self.container_id = container_id
+        self.profile = function.profile
+        self.engine = platform.engine
+        self.cgroup = Cgroup(container_id, platform.node, lambda: self.engine.now)
+        platform.fastswap.attach(self.cgroup)
+        # zlib.crc32 rather than hash(): str hashing is salted per
+        # process, which would break cross-process determinism.
+        salt = zlib.crc32(container_id.encode("utf-8"))
+        self.rng: np.random.Generator = platform.streams.fork(salt).get("container")
+
+        self.state = ContainerState.LAUNCHING
+        self.created_at = self.engine.now
+        self.reclaimed_at: Optional[float] = None
+        self.idle_since: Optional[float] = None
+        self.requests_served = 0
+        self.last_reuse_interval: Optional[float] = None
+        self.pending: Deque[Invocation] = deque()
+
+        self.runtime_hot: Optional[PageRegion] = None
+        self.runtime_cold: List[PageRegion] = []
+        self._shared_runtime = None
+        self.init_state: Optional[InitState] = None
+        self._exec_region: Optional[PageRegion] = None
+        self._keep_alive = Timer(
+            self.engine, self._on_keep_alive_expired, name=f"ka:{container_id}"
+        )
+        self._heartbeat: Optional[PeriodicTask] = None
+
+        platform.policy.on_container_created(self)
+        self.engine.schedule(
+            self.profile.runtime.launch_time_s,
+            self._finish_launch,
+            name=f"launch:{container_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Launch / init
+    # ------------------------------------------------------------------
+
+    def _finish_launch(self) -> None:
+        """Runtime image loaded: allocate (or share) the runtime segment."""
+        if self.platform.config.share_runtime:
+            self._shared_runtime = self.platform.runtime_shares.acquire(
+                self.function.name, self.profile.runtime
+            )
+            self.runtime_hot = self._shared_runtime.hot
+            self.runtime_cold = list(self._shared_runtime.cold)
+        else:
+            self._shared_runtime = None
+            self.runtime_hot = self.cgroup.allocate(
+                "runtime/hot",
+                Segment.RUNTIME,
+                pages_from_mib(self.profile.runtime.hot_mib),
+            )
+            for index, chunk_mib in enumerate(self.profile.runtime.cold_chunks()):
+                self.runtime_cold.append(
+                    self.cgroup.allocate(
+                        f"runtime/cold-{index}",
+                        Segment.RUNTIME,
+                        pages_from_mib(chunk_mib),
+                    )
+                )
+        self.platform.policy.on_runtime_loaded(self)
+        self.state = ContainerState.INITIALIZING
+        # Init-segment memory is allocated across the init stage; the
+        # simulation allocates it up front (peak behaviour, Fig. 6)
+        # and frees the transient share when init finishes.
+        self.init_state = self.profile.init_layout.allocate(self.cgroup, self.rng)
+        self._init_transient = None
+        if self.profile.init_transient_mib > 0:
+            self._init_transient = self.cgroup.allocate(
+                "init/transient",
+                Segment.INIT,
+                pages_from_mib(self.profile.init_transient_mib),
+            )
+        self.engine.schedule(
+            self.profile.init_time_s,
+            self._finish_init,
+            name=f"init:{self.container_id}",
+        )
+
+    def _finish_init(self) -> None:
+        """Function initialization done: container becomes warm."""
+        if self._init_transient is not None:
+            self.cgroup.free(self._init_transient)
+            self._init_transient = None
+        self.state = ContainerState.IDLE
+        self.platform.policy.on_init_complete(self)
+        if self.pending:
+            self._start_next()
+        else:
+            self._enter_idle()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def enqueue(self, invocation: Invocation) -> None:
+        """Hand an invocation to this container."""
+        if self.state is ContainerState.RECLAIMED:
+            raise LifecycleError(
+                f"container {self.container_id} is reclaimed; cannot enqueue"
+            )
+        self.pending.append(invocation)
+        if self.state is ContainerState.IDLE:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self.pending:
+            raise LifecycleError("start_next with empty queue")
+        was_idle = self.state is ContainerState.IDLE and self.idle_since is not None
+        # How long this container idled before being reused — the raw
+        # material of the paper's "container reused interval" CDF (§6.1).
+        self.last_reuse_interval: Optional[float] = (
+            self.engine.now - self.idle_since if was_idle else None
+        )
+        self._keep_alive.cancel()
+        self._stop_heartbeat()
+        self.state = ContainerState.BUSY
+        invocation = self.pending.popleft()
+        self.platform.policy.on_request_start(self)
+
+        touched = self._request_working_set()
+        remote = [region for region in touched if region.is_remote]
+        remote_ids = {region.region_id for region in remote}
+        recalled_pages = sum(region.pages for region in remote)
+        stall = 0.0
+        for owner, victims in self._group_by_owner(remote).items():
+            stall += self.platform.fastswap.fault(
+                owner, victims, cpu_share=self.profile.cpu_share
+            )
+        for region in touched:
+            self._owner_cgroup(region).touch(region)
+            self.platform.policy.on_region_touched(
+                self, region, was_remote=region.region_id in remote_ids
+            )
+        self._exec_region = self.cgroup.allocate(
+            "exec/scratch", Segment.EXEC, pages_from_mib(self.profile.exec_mib)
+        )
+        service = self.profile.sample_exec_time(self.rng) + stall
+        start = self.engine.now
+        self.engine.schedule(
+            service,
+            lambda: self._complete(invocation, start, stall, recalled_pages),
+            name=f"exec:{self.container_id}",
+        )
+
+    def _request_working_set(self) -> List[PageRegion]:
+        """Regions this request touches (runtime + init segments)."""
+        touched: List[PageRegion] = []
+        if self.runtime_hot is not None:
+            touched.append(self.runtime_hot)
+        # Rare stray into a cold runtime chunk (Fig. 8: 0-3 recalls).
+        prob = self.profile.runtime.cold_touch_prob
+        if self.runtime_cold and prob > 0 and self.rng.random() < prob:
+            index = int(self.rng.integers(0, len(self.runtime_cold)))
+            touched.append(self.runtime_cold[index])
+        if self.init_state is not None:
+            touched.extend(
+                self.profile.init_layout.request_regions(self.init_state, self.rng)
+            )
+        return self._expand_families(region for region in touched if not region.freed)
+
+    def _owner_cgroup(self, region: PageRegion) -> Cgroup:
+        """The cgroup a region belongs to (shared runtime vs own)."""
+        if self._shared_runtime is not None and region in self._shared_runtime.cgroup.space:
+            return self._shared_runtime.cgroup
+        return self.cgroup
+
+    def _group_by_owner(self, regions) -> dict:
+        grouped: dict = {}
+        for region in regions:
+            grouped.setdefault(self._owner_cgroup(region), []).append(region)
+        return grouped
+
+    def _expand_families(self, regions) -> List[PageRegion]:
+        """Add split-off siblings (same name and segment) of each region.
+
+        Gradual offloaders split regions into slices; semantically a
+        request that touches a buffer touches all of its pages, so the
+        working set must cover every live slice of the same region.
+        """
+        seen = {}
+        names = set()
+        for region in regions:
+            seen[region.region_id] = region
+            names.add((region.name, region.segment))
+        for name, segment in names:
+            for sibling in self.cgroup.space.find(name, segment):
+                if not sibling.freed:
+                    seen.setdefault(sibling.region_id, sibling)
+        return list(seen.values())
+
+    def _complete(
+        self,
+        invocation: Invocation,
+        start: float,
+        stall: float,
+        recalled_pages: int,
+    ) -> None:
+        if self._exec_region is not None:
+            self.cgroup.free(self._exec_region)
+            self._exec_region = None
+        self.requests_served += 1
+        record = RequestRecord(
+            function=self.function.name,
+            container_id=self.container_id,
+            invocation_id=invocation.invocation_id,
+            arrival=invocation.arrival,
+            start=start,
+            completion=self.engine.now,
+            cold_start=invocation.cold,
+            fault_stall_s=stall,
+            recalled_pages=recalled_pages,
+        )
+        self.platform.record(record)
+        self.platform.policy.on_request_complete(self, record)
+        if self._shared_runtime is not None:
+            self.platform.runtime_shares.note_request_complete(self.function.name)
+        if self.pending:
+            self._start_next()
+        else:
+            self.state = ContainerState.IDLE
+            self._enter_idle()
+
+    # ------------------------------------------------------------------
+    # Keep-alive / reclaim
+    # ------------------------------------------------------------------
+
+    def _enter_idle(self) -> None:
+        self.idle_since = self.engine.now
+        self._keep_alive.start(self.platform.keep_alive.timeout_for(self))
+        heartbeat = self.platform.config.heartbeat_s
+        if heartbeat > 0 and self._heartbeat is None:
+            self._heartbeat = PeriodicTask(
+                self.engine,
+                heartbeat,
+                self._on_heartbeat,
+                name=f"hb:{self.container_id}",
+            )
+        self.platform.policy.on_container_idle(self)
+
+    def _on_heartbeat(self) -> None:
+        """Keep-alive health ping: the proxy's hot core gets touched."""
+        if self.state is not ContainerState.IDLE or self.runtime_hot is None:
+            return
+        if self.runtime_hot.freed:
+            return
+        for region in self._expand_families([self.runtime_hot]):
+            was_remote = region.is_remote
+            owner = self._owner_cgroup(region)
+            if was_remote:
+                # Fault it back; the ping is asynchronous so nobody
+                # blocks on the stall, but the recall traffic is real.
+                self.platform.fastswap.fault(
+                    owner, [region], cpu_share=self.profile.cpu_share
+                )
+            owner.touch(region)
+            self.platform.policy.on_region_touched(self, region, was_remote=was_remote)
+
+    def _stop_heartbeat(self) -> None:
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
+            self._heartbeat = None
+
+    def _on_keep_alive_expired(self) -> None:
+        self.reclaim()
+
+    def reclaim(self) -> None:
+        """Tear the container down and release all its memory."""
+        if self.state is ContainerState.RECLAIMED:
+            return
+        if self.state is ContainerState.BUSY or self.pending:
+            raise LifecycleError(
+                f"cannot reclaim busy container {self.container_id}"
+            )
+        self._keep_alive.cancel()
+        self._stop_heartbeat()
+        self.platform.policy.on_container_reclaimed(self)
+        self.state = ContainerState.RECLAIMED
+        self.reclaimed_at = self.engine.now
+        self.cgroup.free_all()
+        if self._shared_runtime is not None:
+            self.platform.runtime_shares.release(self.function.name)
+            self._shared_runtime = None
+        self.platform.controller.forget(self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def warm(self) -> bool:
+        """Idle and able to take a request immediately."""
+        return self.state is ContainerState.IDLE
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ContainerState.RECLAIMED
+
+    @property
+    def idle_duration(self) -> float:
+        """Seconds spent idle so far (0 when not idle)."""
+        if self.state is not ContainerState.IDLE or self.idle_since is None:
+            return 0.0
+        return self.engine.now - self.idle_since
+
+    @property
+    def lifetime(self) -> float:
+        end = self.reclaimed_at if self.reclaimed_at is not None else self.engine.now
+        return end - self.created_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Container({self.container_id}, fn={self.function.name}, "
+            f"state={self.state.value}, served={self.requests_served})"
+        )

@@ -1,0 +1,25 @@
+"""Function registration records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A deployed function: a name bound to a workload profile.
+
+    Separate from :class:`WorkloadProfile` because several registered
+    functions may share one benchmark profile (e.g. mapping many Azure
+    trace functions onto the 11 benchmarks, §8.2).
+    """
+
+    name: str
+    profile: WorkloadProfile
+
+    @property
+    def quota_mib(self) -> float:
+        """The scheduling quota of this function's containers."""
+        return self.profile.quota_mib

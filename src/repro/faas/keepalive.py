@@ -1,0 +1,107 @@
+"""Keep-alive policies: how long an idle container is retained."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.errors import PolicyError
+from repro.units import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faas.container import Container
+
+
+class KeepAlivePolicy(abc.ABC):
+    """Decides the keep-alive timeout for a container entering idle."""
+
+    @abc.abstractmethod
+    def timeout_for(self, container: "Container") -> float:
+        """Seconds to retain ``container`` after it goes idle."""
+
+
+class FixedKeepAlive(KeepAlivePolicy):
+    """The industry-standard fixed timeout (10 minutes in the paper)."""
+
+    def __init__(self, timeout_s: float = 10 * MINUTE) -> None:
+        if timeout_s <= 0:
+            raise PolicyError(f"keep-alive timeout must be positive, got {timeout_s}")
+        self.timeout_s = timeout_s
+
+    def timeout_for(self, container: "Container") -> float:
+        return self.timeout_s
+
+
+class PerFunctionKeepAlive(KeepAlivePolicy):
+    """Different fixed timeouts per function (extension hook).
+
+    Functions not in the mapping fall back to ``default_s``.
+    """
+
+    def __init__(self, timeouts: dict = None, default_s: float = 10 * MINUTE) -> None:
+        if default_s <= 0:
+            raise PolicyError(f"default timeout must be positive, got {default_s}")
+        self.timeouts = dict(timeouts or {})
+        self.default_s = default_s
+
+    def timeout_for(self, container: "Container") -> float:
+        return self.timeouts.get(container.function.name, self.default_s)
+
+
+class HistogramKeepAlive(KeepAlivePolicy):
+    """Adaptive per-function timeouts from the idle-time histogram.
+
+    A simplified form of the hybrid-histogram policy of Shahrad et al.
+    (ATC'20) that the paper's related-work section suggests combining
+    with FaaSMem: each observed reuse interval feeds a per-function
+    histogram, and the timeout is set just above the ``percentile`` of
+    that distribution (clamped to [min_s, max_s]). Until enough
+    history exists, ``default_s`` applies.
+
+    Combining this with FaaSMem stacks two savings: shorter keep-alive
+    for predictable functions, plus semi-warm offloading of whatever
+    keep-alive remains.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 99.0,
+        margin: float = 1.10,
+        min_s: float = MINUTE,
+        max_s: float = 10 * MINUTE,
+        default_s: float = 10 * MINUTE,
+        min_samples: int = 10,
+    ) -> None:
+        if not 0 < percentile <= 100:
+            raise PolicyError(f"percentile must be in (0, 100], got {percentile}")
+        if margin < 1.0:
+            raise PolicyError(f"margin must be >= 1, got {margin}")
+        if not 0 < min_s <= max_s:
+            raise PolicyError(f"need 0 < min_s <= max_s, got {min_s}, {max_s}")
+        if min_samples < 1:
+            raise PolicyError(f"min_samples must be >= 1, got {min_samples}")
+        self.percentile = percentile
+        self.margin = margin
+        self.min_s = min_s
+        self.max_s = max_s
+        self.default_s = default_s
+        self.min_samples = min_samples
+        self._intervals: dict = {}
+
+    def observe(self, function: str, idle_interval_s: float) -> None:
+        """Feed one observed reuse interval."""
+        if idle_interval_s < 0:
+            raise PolicyError(f"interval must be non-negative, got {idle_interval_s}")
+        self._intervals.setdefault(function, []).append(idle_interval_s)
+
+    def timeout_for(self, container: "Container") -> float:
+        import numpy as np
+
+        interval = getattr(container, "last_reuse_interval", None)
+        if interval is not None:
+            self.observe(container.function.name, interval)
+        samples = self._intervals.get(container.function.name, [])
+        if len(samples) < self.min_samples:
+            return self.default_s
+        estimate = float(np.percentile(np.asarray(samples), self.percentile))
+        return min(self.max_s, max(self.min_s, estimate * self.margin))

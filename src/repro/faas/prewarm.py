@@ -1,0 +1,113 @@
+"""Histogram-driven container prewarming (Shahrad et al., ATC'20).
+
+The related-work combination the paper points at: a hybrid-histogram
+policy "proactively pre-warm[s] containers and set[s] a lower
+keep-alive threshold". This add-on watches each function's
+inter-arrival histogram; whenever a function is left with no alive
+container, it schedules a proactive launch just before the next
+invocation is expected, so that request finds a warm (or at least
+launching) container instead of paying the full cold start.
+
+Pairs naturally with :class:`~repro.faas.keepalive.HistogramKeepAlive`
+(shorter keep-alive) and with FaaSMem (whatever keep-alive remains is
+semi-warm offloaded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.faas.platform import ServerlessPlatform
+from repro.sim.process import Timer
+
+
+class Prewarmer:
+    """Platform add-on that proactively launches containers."""
+
+    def __init__(
+        self,
+        platform: ServerlessPlatform,
+        head_percentile: float = 25.0,
+        min_samples: int = 8,
+        max_outstanding: int = 1,
+        safety_margin_s: float = 5.0,
+    ) -> None:
+        if not 0 < head_percentile <= 100:
+            raise PolicyError(
+                f"head_percentile must be in (0, 100], got {head_percentile}"
+            )
+        if min_samples < 2:
+            raise PolicyError(f"min_samples must be >= 2, got {min_samples}")
+        if max_outstanding < 1:
+            raise PolicyError(f"max_outstanding must be >= 1, got {max_outstanding}")
+        if safety_margin_s < 0:
+            raise PolicyError(f"safety_margin_s must be >= 0, got {safety_margin_s}")
+        self.platform = platform
+        self.head_percentile = head_percentile
+        self.min_samples = min_samples
+        self.max_outstanding = max_outstanding
+        self.safety_margin_s = safety_margin_s
+        self._last_arrival: Dict[str, float] = {}
+        self._iats: Dict[str, List[float]] = {}
+        self._timers: Dict[str, Timer] = {}
+        self.prewarms_issued = 0
+        platform.on_invocation.append(self._observe)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def _observe(self, invocation) -> None:
+        name = invocation.function
+        last = self._last_arrival.get(name)
+        now = invocation.arrival
+        if last is not None and now > last:
+            self._iats.setdefault(name, []).append(now - last)
+        self._last_arrival[name] = now
+        # A real arrival supersedes any pending prewarm.
+        timer = self._timers.get(name)
+        if timer is not None:
+            timer.cancel()
+        self._schedule_next(name)
+
+    def _schedule_next(self, function: str) -> None:
+        samples = self._iats.get(function, [])
+        if len(samples) < self.min_samples:
+            return
+        head = float(np.percentile(np.asarray(samples), self.head_percentile))
+        profile = self.platform.function(function).profile
+        # Aim to finish launch+init a safety margin before the
+        # head-percentile arrival would land (arrivals jitter).
+        delay = max(0.0, head - profile.cold_start_s - self.safety_margin_s)
+        timer = self._timers.get(function)
+        if timer is None:
+            timer = Timer(
+                self.platform.engine,
+                lambda f=function: self._fire(f),
+                name=f"prewarm:{function}",
+            )
+            self._timers[function] = timer
+        timer.start(delay)
+
+    # ------------------------------------------------------------------
+    # Action
+    # ------------------------------------------------------------------
+
+    def _fire(self, function: str) -> None:
+        controller = self.platform.controller
+        containers = controller.containers_of(function)
+        ready_or_coming = [
+            c for c in containers if c.state.value in ("idle", "launching", "initializing")
+        ]
+        if len(ready_or_coming) >= self.max_outstanding:
+            return  # someone is already warm or on the way
+        controller.prewarm(function)
+        self.prewarms_issued += 1
+
+    def detach(self) -> None:
+        """Cancel all pending prewarms (end of run)."""
+        for timer in self._timers.values():
+            timer.cancel()

@@ -1,0 +1,118 @@
+"""FAASM-style runtime-memory sharing (paper §9 discussion).
+
+"FAASM shares the runtime across different containers of one
+function" — the runtime segment is identical for every container of a
+function, so a copy-on-write mapping stores it once per function per
+node. The paper notes this is orthogonal to FaaSMem ("by combining
+these techniques, FaaSMem can further reduce memory footprint"); this
+module implements the combination.
+
+Each function's shared runtime lives in its own system cgroup with a
+reference count; containers acquire it at launch instead of allocating
+a private runtime segment and release it at reclaim. The shared cold
+chunks are offloaded reactively after the function's first request
+completes, mirroring FaaSMem's Runtime Pucket policy at share scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.mem.cgroup import Cgroup
+from repro.mem.page import PageRegion, Segment
+from repro.units import pages_from_mib
+from repro.workloads.profile import RuntimeProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faas.platform import ServerlessPlatform
+
+
+@dataclass
+class SharedRuntime:
+    """One function's shared runtime image on this node."""
+
+    function: str
+    cgroup: Cgroup
+    hot: PageRegion
+    cold: List[PageRegion]
+    refcount: int = 0
+    first_request_done: bool = False
+
+    @property
+    def regions(self) -> List[PageRegion]:
+        return [self.hot] + list(self.cold)
+
+
+class SharedRuntimeRegistry:
+    """Per-node registry of shared runtime images."""
+
+    def __init__(self, platform: "ServerlessPlatform") -> None:
+        self.platform = platform
+        self._images: Dict[str, SharedRuntime] = {}
+
+    def acquire(self, function: str, runtime: RuntimeProfile) -> SharedRuntime:
+        """Reference the function's runtime image, mapping it on first use."""
+        image = self._images.get(function)
+        if image is None:
+            cgroup = Cgroup(
+                f"shared-runtime/{function}",
+                self.platform.node,
+                clock=lambda: self.platform.engine.now,
+            )
+            self.platform.fastswap.attach(cgroup)
+            hot = cgroup.allocate(
+                "runtime/hot", Segment.RUNTIME, pages_from_mib(runtime.hot_mib)
+            )
+            cold = [
+                cgroup.allocate(
+                    f"runtime/cold-{index}", Segment.RUNTIME, pages_from_mib(chunk)
+                )
+                for index, chunk in enumerate(runtime.cold_chunks())
+            ]
+            image = SharedRuntime(function=function, cgroup=cgroup, hot=hot, cold=cold)
+            self._images[function] = image
+        image.refcount += 1
+        return image
+
+    def release(self, function: str) -> None:
+        """Drop one reference; the image unmaps when nobody uses it."""
+        image = self._images.get(function)
+        if image is None:
+            raise ReproError(f"release of unknown shared runtime {function!r}")
+        image.refcount -= 1
+        if image.refcount < 0:
+            raise ReproError(f"shared runtime {function!r} over-released")
+        if image.refcount == 0:
+            image.cgroup.free_all()
+            del self._images[function]
+
+    def note_request_complete(self, function: str) -> None:
+        """Reactive offload of shared cold chunks after the first request.
+
+        Mirrors FaaSMem's Runtime Pucket policy (§5.1) at share scope:
+        runtime pages unused by the first execution will hardly be
+        used later, regardless of which container runs.
+        """
+        image = self._images.get(function)
+        if image is None or image.first_request_done:
+            return
+        image.first_request_done = True
+        victims = [
+            region
+            for region in image.cold
+            if region.is_local and region.access_count <= 1
+        ]
+        if victims:
+            self.platform.fastswap.offload(image.cgroup, victims)
+
+    def image_of(self, function: str) -> Optional[SharedRuntime]:
+        return self._images.get(function)
+
+    @property
+    def total_local_pages(self) -> int:
+        return sum(image.cgroup.local_pages for image in self._images.values())
+
+    def __len__(self) -> int:
+        return len(self._images)

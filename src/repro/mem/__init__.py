@@ -1,0 +1,27 @@
+"""Page-granular memory model.
+
+Memory is modelled as :class:`PageRegion` objects — contiguous groups
+of 4 KiB pages with uniform behaviour (segment, location, access bit).
+A container owns an :class:`AddressSpace` split into the paper's three
+segments (runtime / init / execution); a compute node aggregates the
+local footprint of all containers with time-weighted accounting; and
+:class:`MultiGenLru` reproduces the Linux MGLRU generation lists the
+paper builds Puckets on.
+"""
+
+from repro.mem.page import Location, PageRegion, Segment
+from repro.mem.address_space import AddressSpace
+from repro.mem.mglru import Generation, MultiGenLru
+from repro.mem.cgroup import Cgroup
+from repro.mem.node import ComputeNode
+
+__all__ = [
+    "Location",
+    "PageRegion",
+    "Segment",
+    "AddressSpace",
+    "Generation",
+    "MultiGenLru",
+    "Cgroup",
+    "ComputeNode",
+]

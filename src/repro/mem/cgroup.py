@@ -1,0 +1,127 @@
+"""Per-container cgroup: address space + MGLRU + node accounting.
+
+The cgroup is the glue the kernel provides for free: it keeps the
+node-level resident counter in sync with allocations, frees, offloads
+and fetches, and feeds accesses into the MGLRU generation lists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import MemoryError_
+from repro.mem.address_space import AddressSpace
+from repro.mem.mglru import MultiGenLru
+from repro.mem.node import ComputeNode
+from repro.mem.page import Location, PageRegion, Segment
+
+
+class Cgroup:
+    """One container's memory control group."""
+
+    def __init__(
+        self,
+        name: str,
+        node: ComputeNode,
+        clock: Callable[[], float],
+    ) -> None:
+        self.name = name
+        self.node = node
+        self._clock = clock
+        self.space = AddressSpace(owner=name)
+        self.mglru = MultiGenLru()
+        # Fired when a remote region is freed, so the swap layer can
+        # release pool pages; wired up by Fastswap at attach time.
+        self.on_remote_freed: List[Callable[[PageRegion], None]] = []
+        self.space.on_alloc.append(self._handle_alloc)
+        self.space.on_touch.append(self._handle_touch)
+        self.space.on_free.append(self._handle_free)
+
+    # ------------------------------------------------------------------
+    # Allocation / access API used by containers
+    # ------------------------------------------------------------------
+
+    def allocate(self, name: str, segment: Segment, pages: int) -> PageRegion:
+        """Allocate a local region and account it on the node."""
+        return self.space.allocate(name, segment, pages, now=self._clock())
+
+    def touch(self, region: PageRegion) -> None:
+        """Record an access; remote regions must be fetched first."""
+        if region.is_remote:
+            raise MemoryError_(
+                f"touch of remote region {region.name!r}; fault it in first"
+            )
+        self.space.touch(region, now=self._clock())
+
+    def free(self, region: PageRegion) -> None:
+        self.space.free(region)
+
+    def free_all(self) -> int:
+        """Release the whole cgroup (container reclaim)."""
+        return self.space.free_all()
+
+    # ------------------------------------------------------------------
+    # Location transitions, driven by the swap datapath
+    # ------------------------------------------------------------------
+
+    def mark_offloaded(self, region: PageRegion) -> None:
+        """Flip a local region to REMOTE and fix up accounting."""
+        if region not in self.space:
+            raise MemoryError_(f"region {region.name!r} not in cgroup {self.name}")
+        if region.is_remote:
+            raise MemoryError_(f"region {region.name!r} is already remote")
+        region.location = Location.REMOTE
+        self.node.sub_local(region.pages)
+        # An offloaded page leaves the LRU; it re-enters on swap-in.
+        self.mglru.remove(region)
+
+    def mark_fetched(self, region: PageRegion) -> None:
+        """Flip a remote region back to LOCAL and fix up accounting."""
+        if region not in self.space:
+            raise MemoryError_(f"region {region.name!r} not in cgroup {self.name}")
+        if region.is_local:
+            raise MemoryError_(f"region {region.name!r} is already local")
+        region.location = Location.LOCAL
+        self.node.add_local(region.pages)
+        self.mglru.insert(region)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def local_pages(self) -> int:
+        return self.space.local_pages
+
+    @property
+    def remote_pages(self) -> int:
+        return self.space.remote_pages
+
+    @property
+    def total_pages(self) -> int:
+        return self.space.total_pages
+
+    def remote_regions(self, segment: Optional[Segment] = None) -> List[PageRegion]:
+        return [r for r in self.space.regions(segment) if r.is_remote]
+
+    def local_regions(self, segment: Optional[Segment] = None) -> List[PageRegion]:
+        return [r for r in self.space.regions(segment) if r.is_local]
+
+    # ------------------------------------------------------------------
+    # Observer plumbing
+    # ------------------------------------------------------------------
+
+    def _handle_alloc(self, region: PageRegion) -> None:
+        self.node.add_local(region.pages)
+        self.mglru.insert(region)
+
+    def _handle_touch(self, region: PageRegion) -> None:
+        self.mglru.note_access(region)
+
+    def _handle_free(self, region: PageRegion) -> None:
+        if region.is_local:
+            self.node.sub_local(region.pages)
+            self.mglru.remove(region)
+        else:
+            for callback in self.on_remote_freed:
+                callback(region)

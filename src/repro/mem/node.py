@@ -1,0 +1,92 @@
+"""Compute-node local memory accounting."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CapacityError
+from repro.metrics.timeweighted import TimeWeightedAccumulator
+from repro.units import mib_from_pages, pages_from_mib
+
+
+class ComputeNode:
+    """Tracks the aggregate local DRAM footprint of all containers.
+
+    The node integrates local usage over time (the paper's "average
+    local memory usage" metric) and can optionally enforce a hard
+    capacity, raising :class:`CapacityError` on overflow — useful for
+    density experiments.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        capacity_mib: float = 64 * 1024,
+        strict: bool = False,
+        name: str = "compute-0",
+    ) -> None:
+        if capacity_mib <= 0:
+            raise CapacityError(f"capacity must be positive, got {capacity_mib}")
+        self.name = name
+        self._clock = clock
+        self.capacity_pages = pages_from_mib(capacity_mib)
+        self.strict = strict
+        self._usage = TimeWeightedAccumulator(start_time=clock(), value=0.0)
+
+    @property
+    def local_pages(self) -> int:
+        """Pages currently resident in node DRAM."""
+        return int(self._usage.value)
+
+    @property
+    def local_mib(self) -> float:
+        return mib_from_pages(self.local_pages)
+
+    @property
+    def peak_pages(self) -> int:
+        return int(self._usage.peak)
+
+    @property
+    def free_pages(self) -> int:
+        return self.capacity_pages - self.local_pages
+
+    def add_local(self, pages: int) -> None:
+        """Account ``pages`` newly resident pages."""
+        if pages < 0:
+            raise ValueError(f"pages must be non-negative, got {pages}")
+        if self.strict and self.local_pages + pages > self.capacity_pages:
+            raise CapacityError(
+                f"node {self.name}: allocating {pages} pages exceeds capacity "
+                f"({self.local_pages}/{self.capacity_pages})"
+            )
+        self._usage.add(self._clock(), pages)
+
+    def sub_local(self, pages: int) -> None:
+        """Account ``pages`` pages leaving local DRAM (free or offload)."""
+        if pages < 0:
+            raise ValueError(f"pages must be non-negative, got {pages}")
+        if pages > self.local_pages:
+            raise ValueError(
+                f"node {self.name}: releasing {pages} pages but only "
+                f"{self.local_pages} resident"
+            )
+        self._usage.add(self._clock(), -pages)
+
+    def average_pages(self, now: float = None) -> float:
+        """Time-weighted average local pages over the run so far."""
+        return self._usage.average(now)
+
+    def average_pages_between(self, start: float, end: float) -> float:
+        """Time-weighted average local pages over [start, end]."""
+        return self._usage.average_between(start, end)
+
+    def peak_pages_between(self, start: float, end: float) -> float:
+        """Maximum local pages within [start, end]."""
+        return self._usage.peak_between(start, end)
+
+    def average_mib(self, now: float = None) -> float:
+        return self.average_pages(now) * 4096 / (1024 * 1024)
+
+    def usage_samples(self):
+        """(time, pages) change points of local usage."""
+        return self._usage.samples

@@ -1,0 +1,19 @@
+"""Measurement utilities: latency percentiles, time-weighted memory
+usage, bandwidth accounting and result records."""
+
+from repro.metrics.timeweighted import TimeWeightedAccumulator
+from repro.metrics.latency import LatencyStats, percentile
+from repro.metrics.memory import MemoryTimeline
+from repro.metrics.summary import RunSummary, SystemComparison
+from repro.metrics.export import render_table, to_json
+
+__all__ = [
+    "TimeWeightedAccumulator",
+    "LatencyStats",
+    "percentile",
+    "MemoryTimeline",
+    "RunSummary",
+    "SystemComparison",
+    "render_table",
+    "to_json",
+]

@@ -1,0 +1,70 @@
+"""Rendering helpers: plain-text tables and JSON export."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned plain-text table.
+
+    >>> print(render_table([{"a": 1, "b": "x"}]))
+    a | b
+    - | -
+    1 | x
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(col) for col in columns]]
+    for row in rows:
+        rendered.append([_format_cell(row.get(col, "")) for col in columns])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append(" | ".join(cell.ljust(w) for cell, w in zip(header, widths)).rstrip())
+    lines.append(" | ".join("-" * w for w in widths))
+    for row_cells in body:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row_cells, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def to_json(payload: Any, path: Optional[str] = None) -> str:
+    """Serialize experiment output to JSON (optionally writing a file)."""
+    text = json.dumps(payload, indent=2, default=_json_default, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def _json_default(value: Any) -> Any:
+    if hasattr(value, "row"):
+        return value.row()
+    if hasattr(value, "__dict__"):
+        return {k: v for k, v in vars(value).items() if not k.startswith("_")}
+    raise TypeError(f"cannot serialize {type(value)!r}")
+
+
+def normalize_series(values: Iterable[float], reference: float) -> List[float]:
+    """Divide each value by ``reference`` (used for normalized plots)."""
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return [value / reference for value in values]

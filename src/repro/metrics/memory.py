@@ -1,0 +1,50 @@
+"""Memory usage timelines derived from node accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.units import MIB, bytes_from_pages
+
+
+@dataclass
+class MemoryTimeline:
+    """A recorded (time, local_pages) step function plus its summary.
+
+    Produced by experiment harnesses from the compute node's
+    time-weighted accumulator; convenient for both table rows (average
+    usage) and figure series (timeline plots such as Fig. 13 top).
+    """
+
+    points: List[Tuple[float, float]]
+    average_pages: float
+    peak_pages: float
+
+    @property
+    def average_mib(self) -> float:
+        return bytes_from_pages(int(round(self.average_pages))) / MIB
+
+    @property
+    def peak_mib(self) -> float:
+        return bytes_from_pages(int(round(self.peak_pages))) / MIB
+
+    def resample(self, step: float) -> List[Tuple[float, float]]:
+        """Sample the step function on a regular grid (for plotting).
+
+        Returns (time, pages) pairs every ``step`` seconds, holding the
+        most recent value between change points.
+        """
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if not self.points:
+            return []
+        times = np.array([t for t, _ in self.points])
+        values = np.array([v for _, v in self.points])
+        start, end = times[0], times[-1]
+        grid = np.arange(start, end + step, step)
+        idx = np.searchsorted(times, grid, side="right") - 1
+        idx = np.clip(idx, 0, len(values) - 1)
+        return list(zip(grid.tolist(), values[idx].tolist()))

@@ -1,0 +1,125 @@
+"""Terminal figure rendering.
+
+The paper's artifact draws PDFs with matplotlib; this reproduction is
+dependency-light, so experiment series render as unicode terminal
+plots instead: horizontal bar charts for per-benchmark figures and
+braille-free line/CDF charts for timelines. The CLI exposes them via
+``python -m repro run <id> --plot``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart.
+
+    >>> print(bar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a ████ 2
+    b ██   1
+    """
+    items = list(items)
+    if not items:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [title] if title else []
+    for label, value in items:
+        cells = value * scale
+        full = int(cells)
+        frac = cells - full
+        bar = "█" * full
+        if frac > 1e-9 and full < width:
+            bar += _BLOCKS[int(frac * 8) + 1]
+        bar = bar.ljust(width)
+        lines.append(f"{label.ljust(label_width)} {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    points: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """A dot-matrix line chart of a (time, value) series."""
+    points = list(points)
+    if len(points) < 2:
+        return "(not enough points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        return "(degenerate x range)"
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    # Sample the step function per column, carrying the last value.
+    index = 0
+    for column in range(width):
+        x = x_lo + (x_hi - x_lo) * column / (width - 1)
+        while index + 1 < len(points) and points[index + 1][0] <= x:
+            index += 1
+        value = points[index][1]
+        row = int((value - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][column] = "•"
+    lines = [title] if title else []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            margin = f"{y_hi:10.4g} ┤"
+        elif row_index == height - 1:
+            margin = f"{y_lo:10.4g} ┤"
+        else:
+            margin = " " * 10 + " │"
+        lines.append(margin + "".join(row))
+    lines.append(
+        " " * 11 + "└" + "─" * width
+    )
+    lines.append(" " * 12 + f"{x_lo:<10.4g}{' ' * max(0, width - 20)}{x_hi:>10.4g}")
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    values: Sequence[float], width: int = 64, height: int = 10, title: str = ""
+) -> str:
+    """Empirical CDF rendered as a line chart."""
+    data = sorted(values)
+    if not data:
+        return "(no data)"
+    points = [(value, (i + 1) / len(data)) for i, value in enumerate(data)]
+    return line_chart(points, width=width, height=height, title=title, y_label="CDF")
+
+
+def scatter_summary(
+    rows: Sequence[Dict[str, float]],
+    x_key: str,
+    y_key: str,
+    buckets: int = 6,
+) -> List[Tuple[str, float]]:
+    """Collapse a scatter into bucket means for bar_chart rendering."""
+    points = sorted(
+        (float(r[x_key]), float(r[y_key])) for r in rows if x_key in r and y_key in r
+    )
+    if not points:
+        return []
+    out: List[Tuple[str, float]] = []
+    per_bucket = max(1, len(points) // buckets)
+    for start in range(0, len(points), per_bucket):
+        chunk = points[start : start + per_bucket]
+        x_mid = sum(p[0] for p in chunk) / len(chunk)
+        y_mean = sum(p[1] for p in chunk) / len(chunk)
+        out.append((f"{x_key}~{x_mid:.3g}", y_mean))
+    return out

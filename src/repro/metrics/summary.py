@@ -1,0 +1,117 @@
+"""Result records shared by all experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.metrics.memory import MemoryTimeline
+
+
+@dataclass
+class RunSummary:
+    """Everything one simulated run reports.
+
+    One run = one (policy system, benchmark, trace) triple. Experiment
+    harnesses aggregate several runs into paper rows/series.
+    """
+
+    system: str
+    benchmark: str
+    trace: str
+    requests: int
+    cold_starts: int
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    memory: MemoryTimeline
+    offloaded_mib_total: float = 0.0
+    recalled_mib_total: float = 0.0
+    remote_peak_mib: float = 0.0
+    remote_avg_mib: float = 0.0
+    avg_offload_bandwidth_mibps: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cold_start_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.cold_starts / self.requests
+
+    def row(self) -> Dict[str, float]:
+        """Flatten into a table row."""
+        return {
+            "system": self.system,
+            "benchmark": self.benchmark,
+            "trace": self.trace,
+            "requests": self.requests,
+            "cold_starts": self.cold_starts,
+            "p50_s": round(self.latency_p50, 4),
+            "p95_s": round(self.latency_p95, 4),
+            "p99_s": round(self.latency_p99, 4),
+            "avg_mem_mib": round(self.memory.average_mib, 2),
+            "peak_mem_mib": round(self.memory.peak_mib, 2),
+            "offloaded_mib": round(self.offloaded_mib_total, 2),
+            "recalled_mib": round(self.recalled_mib_total, 2),
+        }
+
+
+@dataclass
+class SystemComparison:
+    """A candidate system's run normalized against a baseline run."""
+
+    baseline: RunSummary
+    candidate: RunSummary
+
+    @property
+    def memory_ratio(self) -> float:
+        """candidate avg memory / baseline avg memory (lower is better)."""
+        base = self.baseline.memory.average_mib
+        if base <= 0:
+            raise ValueError("baseline consumed no memory; cannot normalize")
+        return self.candidate.memory.average_mib / base
+
+    @property
+    def memory_saving(self) -> float:
+        """Fractional memory saved, e.g. 0.43 means -43 % footprint."""
+        return 1.0 - self.memory_ratio
+
+    @property
+    def p95_ratio(self) -> float:
+        """candidate P95 latency / baseline P95 latency."""
+        base = self.baseline.latency_p95
+        if base <= 0:
+            raise ValueError("baseline P95 is zero; cannot normalize")
+        return self.candidate.latency_p95 / base
+
+    @property
+    def p95_increase(self) -> float:
+        """Fractional P95 increase (0.05 = +5 %)."""
+        return self.p95_ratio - 1.0
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "system": self.candidate.system,
+            "benchmark": self.candidate.benchmark,
+            "trace": self.candidate.trace,
+            "norm_mem": round(self.memory_ratio, 4),
+            "mem_saving_pct": round(100 * self.memory_saving, 1),
+            "p95_ratio": round(self.p95_ratio, 4),
+            "p95_increase_pct": round(100 * self.p95_increase, 1),
+        }
+
+
+def density_improvement(
+    quota_mib: float, stable_offload_mib: float
+) -> float:
+    """Deployment-density gain from shrinking a container's quota.
+
+    The paper (§8.6) treats the stably offloaded amount as a reduction
+    of the scheduling quota: a 128 MiB container that keeps 28 MiB in
+    the pool deploys as a 100 MiB container, i.e. 1.28x density.
+    """
+    if quota_mib <= 0:
+        raise ValueError(f"quota must be positive, got {quota_mib}")
+    effective = quota_mib - min(max(stable_offload_mib, 0.0), quota_mib * 0.95)
+    return quota_mib / effective

@@ -1,0 +1,55 @@
+"""Global remote-bandwidth monitoring and throttling.
+
+FaaSMem "monitors the global remote bandwidth in real-time, and
+uniformly reduces the offload speed of all containers when the
+bandwidth approaches the limit" (§6.2). The monitor computes recent
+link occupancy and hands policies a uniform slowdown factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pool.link import Link, LinkDirection
+
+
+@dataclass
+class BandwidthMonitorConfig:
+    """Throttling knobs."""
+
+    window_s: float = 5.0
+    high_watermark: float = 0.8  # begin throttling at 80 % occupancy
+    min_factor: float = 0.1  # never slow below 10 % of nominal rate
+
+
+class BandwidthMonitor:
+    """Computes a uniform offload-rate factor from link occupancy."""
+
+    def __init__(self, link: Link, config: BandwidthMonitorConfig = None) -> None:
+        self.link = link
+        self.config = config or BandwidthMonitorConfig()
+
+    def occupancy(self, now: float, direction: LinkDirection = LinkDirection.OUT) -> float:
+        """Fraction of link capacity used over the trailing window."""
+        window = self.config.window_s
+        since = max(0.0, now - window)
+        if now <= since:
+            return 0.0
+        used = self.link.average_bandwidth(direction, since, now)
+        return min(1.0, used / self.link.capacity_bytes_per_s)
+
+    def throttle_factor(self, now: float) -> float:
+        """Multiplier in (0, 1] applied to every container's offload rate.
+
+        1.0 below the high watermark; decays linearly to
+        ``min_factor`` as occupancy approaches 100 %.
+        """
+        occupancy = self.occupancy(now)
+        high = self.config.high_watermark
+        if occupancy <= high:
+            return 1.0
+        # Linear decay over the (high, 1.0] band.
+        span = 1.0 - high
+        overshoot = (occupancy - high) / span
+        factor = 1.0 - overshoot * (1.0 - self.config.min_factor)
+        return max(self.config.min_factor, factor)

@@ -1,0 +1,183 @@
+"""Fastswap-style swap datapath between node DRAM and the pool.
+
+Mirrors the two paths the paper ports onto Linux 6.1 (§7):
+
+* **page-out** (:meth:`Fastswap.offload`) — asynchronous: the pipe is
+  reserved, and the pages leave local DRAM when the write-out
+  completes. A region touched while its write-out is in flight has
+  its offload aborted, like the kernel skipping a re-dirtied page.
+* **page-in** (:meth:`Fastswap.fault`) — synchronous: a request that
+  touches remote pages stalls for the queueing + transfer time, which
+  the caller adds to its service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.errors import MemoryError_
+from repro.mem.cgroup import Cgroup
+from repro.mem.page import PageRegion
+from repro.pool.link import Link, LinkDirection
+from repro.pool.remote_pool import RemotePool
+from repro.sim.engine import Engine
+from repro.units import PAGE_SIZE, MIB
+
+
+@dataclass
+class FastswapConfig:
+    """Datapath cost knobs.
+
+    ``fault_cpu_per_page_s`` is the kernel swap-in CPU work per page
+    (pagefault, RDMA doorbell, page-table fixup). It is divided by the
+    faulting container's CPU share: a 0.1-core container handles
+    faults 10x slower, which is why sampling-based offloading hurts
+    micro-benchmarks the most (Fig. 2).
+    """
+
+    fault_cpu_per_page_s: float = 8e-6
+
+
+@dataclass
+class SwapStats:
+    """Cumulative datapath statistics."""
+
+    offloaded_pages: int = 0
+    recalled_pages: int = 0
+    aborted_offloads: int = 0
+    offload_ops: int = 0
+    fault_ops: int = 0
+
+    @property
+    def offloaded_mib(self) -> float:
+        return self.offloaded_pages * PAGE_SIZE / MIB
+
+    @property
+    def recalled_mib(self) -> float:
+        return self.recalled_pages * PAGE_SIZE / MIB
+
+
+class Fastswap:
+    """The swap datapath shared by every policy in the library."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        link: Link,
+        pool: RemotePool,
+        config: FastswapConfig = None,
+    ) -> None:
+        self.engine = engine
+        self.link = link
+        self.pool = pool
+        self.config = config or FastswapConfig()
+        self.stats = SwapStats()
+        self._per_cgroup_offloaded: Dict[str, int] = {}
+        self._per_cgroup_recalled: Dict[str, int] = {}
+
+    def attach(self, cgroup: Cgroup) -> None:
+        """Wire a cgroup so freeing remote regions releases pool pages."""
+        cgroup.on_remote_freed.append(self._handle_remote_freed)
+
+    # ------------------------------------------------------------------
+    # Page-out
+    # ------------------------------------------------------------------
+
+    def offload(self, cgroup: Cgroup, regions: Iterable[PageRegion]) -> float:
+        """Asynchronously write regions out to the pool.
+
+        Returns the completion time of the last write-out. Regions that
+        get touched before their write-out completes are skipped
+        (abort), matching kernel swap semantics.
+        """
+        completion = self.engine.now
+        for region in regions:
+            if region.freed or region.is_remote:
+                continue
+            issue_access_count = region.access_count
+            _, completion = self.link.transfer(
+                self.engine.now, region.pages, LinkDirection.OUT
+            )
+            self.engine.schedule_at(
+                completion,
+                lambda r=region, c=cgroup, a=issue_access_count: self._complete_offload(
+                    c, r, a
+                ),
+                name=f"offload:{region.name}",
+            )
+            self.stats.offload_ops += 1
+        return completion
+
+    def _complete_offload(
+        self, cgroup: Cgroup, region: PageRegion, issue_access_count: int
+    ) -> None:
+        if region.freed or region.is_remote:
+            self.stats.aborted_offloads += 1
+            return
+        if region.access_count != issue_access_count:
+            # Re-dirtied while the write-out was in flight: abort.
+            self.stats.aborted_offloads += 1
+            return
+        self.pool.store(region.pages)
+        cgroup.mark_offloaded(region)
+        self.stats.offloaded_pages += region.pages
+        self._per_cgroup_offloaded[cgroup.name] = (
+            self._per_cgroup_offloaded.get(cgroup.name, 0) + region.pages
+        )
+
+    # ------------------------------------------------------------------
+    # Page-in
+    # ------------------------------------------------------------------
+
+    def fault(
+        self,
+        cgroup: Cgroup,
+        regions: Iterable[PageRegion],
+        cpu_share: float = 1.0,
+    ) -> float:
+        """Synchronously fetch remote regions; return the stall time.
+
+        All listed regions become local immediately (the caller then
+        touches them); the returned latency covers queueing behind
+        in-flight recalls, wire time, and per-page fault CPU work
+        scaled by the container's ``cpu_share``.
+        """
+        if cpu_share <= 0:
+            raise MemoryError_(f"cpu_share must be positive, got {cpu_share}")
+        total_pages = 0
+        completion = self.engine.now
+        for region in regions:
+            if region.freed:
+                raise MemoryError_(f"fault on freed region {region.name!r}")
+            if region.is_local:
+                continue
+            _, completion = self.link.transfer(
+                self.engine.now, region.pages, LinkDirection.IN
+            )
+            self.pool.release(region.pages)
+            cgroup.mark_fetched(region)
+            total_pages += region.pages
+            self.stats.fault_ops += 1
+        if total_pages == 0:
+            return 0.0
+        self.stats.recalled_pages += total_pages
+        self._per_cgroup_recalled[cgroup.name] = (
+            self._per_cgroup_recalled.get(cgroup.name, 0) + total_pages
+        )
+        wire_stall = max(0.0, completion - self.engine.now)
+        cpu_stall = total_pages * self.config.fault_cpu_per_page_s / cpu_share
+        return wire_stall + cpu_stall
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _handle_remote_freed(self, region: PageRegion) -> None:
+        self.pool.release(region.pages)
+
+    def offloaded_pages_of(self, cgroup_name: str) -> int:
+        return self._per_cgroup_offloaded.get(cgroup_name, 0)
+
+    def recalled_pages_of(self, cgroup_name: str) -> int:
+        return self._per_cgroup_recalled.get(cgroup_name, 0)

@@ -1,0 +1,129 @@
+"""Interconnect model: a full-duplex, bandwidth-limited pipe.
+
+Defaults approximate the paper's testbed: Mellanox FDR InfiniBand at
+56 Gbps with a few microseconds of per-page fault overhead. Transfers
+in the same direction queue FCFS behind each other, which is how
+bandwidth contention (the reason FaaSMem offloads gradually, §6.2)
+manifests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.units import PAGE_SIZE
+
+
+class LinkDirection(enum.Enum):
+    """Transfer direction relative to the compute node."""
+
+    OUT = "out"  # offload: compute node -> pool
+    IN = "in"  # recall / fault: pool -> compute node
+
+
+@dataclass
+class LinkConfig:
+    """Interconnect parameters."""
+
+    bandwidth_bytes_per_s: float = 56e9 / 8  # 56 Gbps FDR InfiniBand
+    per_page_overhead_s: float = 2e-6  # fault/doorbell CPU cost per page
+    base_latency_s: float = 3e-6  # one-way RTT contribution
+
+    @classmethod
+    def infiniband_fdr(cls) -> "LinkConfig":
+        """The paper's testbed: Mellanox FDR at 56 Gbps."""
+        return cls()
+
+    @classmethod
+    def cxl(cls) -> "LinkConfig":
+        """A CXL-attached pool (§9 discussion).
+
+        Higher bandwidth and far lower per-access latency than the
+        RDMA swap path — page moves look like slow memcpy rather than
+        pagefault + network round trips. FaaSMem's mechanism is
+        unchanged; only the penalty constants shrink.
+        """
+        return cls(
+            bandwidth_bytes_per_s=64e9,  # ~x8 CXL 2.0 link
+            per_page_overhead_s=0.15e-6,  # load/store path, no doorbells
+            base_latency_s=0.4e-6,
+        )
+
+    @classmethod
+    def rdma_100g(cls) -> "LinkConfig":
+        """A contemporary 100 Gbps RoCE/IB deployment."""
+        return cls(bandwidth_bytes_per_s=100e9 / 8, per_page_overhead_s=1.5e-6)
+
+
+class Link:
+    """A full-duplex pipe with FCFS queueing per direction."""
+
+    def __init__(self, config: LinkConfig = None) -> None:
+        self.config = config or LinkConfig()
+        self._busy_until: Dict[LinkDirection, float] = {
+            LinkDirection.OUT: 0.0,
+            LinkDirection.IN: 0.0,
+        }
+        self._transfers: Dict[LinkDirection, List[Tuple[float, int]]] = {
+            LinkDirection.OUT: [],
+            LinkDirection.IN: [],
+        }
+
+    def service_time(self, pages: int) -> float:
+        """Pure wire+fault time for ``pages`` pages, ignoring queueing."""
+        if pages < 0:
+            raise ValueError(f"pages must be non-negative, got {pages}")
+        if pages == 0:
+            return 0.0
+        bytes_moved = pages * PAGE_SIZE
+        return (
+            self.config.base_latency_s
+            + pages * self.config.per_page_overhead_s
+            + bytes_moved / self.config.bandwidth_bytes_per_s
+        )
+
+    def transfer(self, now: float, pages: int, direction: LinkDirection) -> Tuple[float, float]:
+        """Reserve the pipe for a transfer; return (start, completion).
+
+        The transfer starts when the pipe frees up (FCFS) and runs for
+        :meth:`service_time`. The reservation is recorded for
+        bandwidth accounting.
+        """
+        start = max(now, self._busy_until[direction])
+        completion = start + self.service_time(pages)
+        self._busy_until[direction] = completion
+        if pages > 0:
+            self._transfers[direction].append((completion, pages * PAGE_SIZE))
+        return start, completion
+
+    def queue_delay(self, now: float, direction: LinkDirection) -> float:
+        """How long a transfer issued now would wait before starting."""
+        return max(0.0, self._busy_until[direction] - now)
+
+    def bytes_moved(
+        self,
+        direction: LinkDirection,
+        since: float = 0.0,
+        until: float = float("inf"),
+    ) -> int:
+        """Total bytes whose transfer completed in [since, until]."""
+        return sum(
+            size
+            for completion, size in self._transfers[direction]
+            if since <= completion <= until
+        )
+
+    def average_bandwidth(
+        self, direction: LinkDirection, since: float, until: float
+    ) -> float:
+        """Mean achieved bandwidth (bytes/s) over the window."""
+        span = until - since
+        if span <= 0:
+            raise ValueError(f"window must have positive span, got {span}")
+        return self.bytes_moved(direction, since, until) / span
+
+    @property
+    def capacity_bytes_per_s(self) -> float:
+        return self.config.bandwidth_bytes_per_s

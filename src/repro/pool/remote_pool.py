@@ -1,0 +1,79 @@
+"""The remote memory pool node: a capacity-tracked page store."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CapacityError
+from repro.metrics.timeweighted import TimeWeightedAccumulator
+from repro.units import mib_from_pages, pages_from_mib
+
+
+class RemotePool:
+    """Tracks pages parked in the memory-pool node.
+
+    The paper's memory node exposes 64 GB over Fastswap's RDMA server;
+    the pool here just enforces capacity and integrates usage over time
+    so experiments can report remote footprint.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        capacity_mib: float = 64 * 1024,
+        name: str = "mempool-0",
+    ) -> None:
+        if capacity_mib <= 0:
+            raise CapacityError(f"capacity must be positive, got {capacity_mib}")
+        self.name = name
+        self._clock = clock
+        self.capacity_pages = pages_from_mib(capacity_mib)
+        self._usage = TimeWeightedAccumulator(start_time=clock(), value=0.0)
+
+    @property
+    def used_pages(self) -> int:
+        return int(self._usage.value)
+
+    @property
+    def used_mib(self) -> float:
+        return mib_from_pages(self.used_pages)
+
+    @property
+    def free_pages(self) -> int:
+        return self.capacity_pages - self.used_pages
+
+    @property
+    def peak_pages(self) -> int:
+        return int(self._usage.peak)
+
+    def store(self, pages: int) -> None:
+        """Account ``pages`` arriving in the pool."""
+        if pages < 0:
+            raise ValueError(f"pages must be non-negative, got {pages}")
+        if self.used_pages + pages > self.capacity_pages:
+            raise CapacityError(
+                f"pool {self.name} full: {self.used_pages}+{pages} "
+                f"> {self.capacity_pages} pages"
+            )
+        self._usage.add(self._clock(), pages)
+
+    def release(self, pages: int) -> None:
+        """Account ``pages`` leaving the pool (recall or free)."""
+        if pages < 0:
+            raise ValueError(f"pages must be non-negative, got {pages}")
+        if pages > self.used_pages:
+            raise ValueError(
+                f"pool {self.name}: releasing {pages} pages but only "
+                f"{self.used_pages} stored"
+            )
+        self._usage.add(self._clock(), -pages)
+
+    def average_pages(self, now: Optional[float] = None) -> float:
+        return self._usage.average(now)
+
+    def average_pages_between(self, start: float, end: float) -> float:
+        """Time-weighted average stored pages over [start, end]."""
+        return self._usage.average_between(start, end)
+
+    def average_mib(self, now: Optional[float] = None) -> float:
+        return self.average_pages(now) * 4096 / (1024 * 1024)

@@ -1,0 +1,14 @@
+"""Deterministic discrete-event simulation kernel.
+
+The engine is a classic event-heap design: callbacks are scheduled at
+absolute or relative times, and :meth:`Engine.run` pops them in
+timestamp order (FIFO among equal timestamps) while advancing the
+simulated clock. All randomness flows through :class:`RandomStreams`,
+so a run is fully reproducible from a single seed.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.randomness import RandomStreams
+
+__all__ = ["Engine", "Event", "PeriodicTask", "Timer", "RandomStreams"]

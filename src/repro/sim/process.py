@@ -1,0 +1,96 @@
+"""Timer and periodic-task helpers built on top of :class:`Engine`."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+
+class Timer:
+    """A single-shot, restartable timer.
+
+    Used for container keep-alive timeouts: every new request restarts
+    the timer, and only an undisturbed expiry fires the callback.
+    """
+
+    def __init__(self, engine: Engine, callback: Callable[[], Any], name: str = "") -> None:
+        self._engine = engine
+        self._callback = callback
+        self._name = name
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether an expiry is currently scheduled."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute expiry time, or None when disarmed."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._engine.schedule(delay, self._fire, name=self._name)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Invoke a callback every ``interval`` seconds until stopped.
+
+    The callback may call :meth:`stop` to terminate the series; the
+    period may also be changed between ticks via :attr:`interval`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        interval: float,
+        callback: Callable[[], Any],
+        name: str = "",
+        start_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        self._engine = engine
+        self.interval = interval
+        self._callback = callback
+        self._name = name
+        self._stopped = False
+        self._event: Optional[Event] = engine.schedule(
+            interval if start_delay is None else start_delay, self._tick, name=name
+        )
+
+    @property
+    def running(self) -> bool:
+        """Whether another tick is scheduled."""
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Cancel all future ticks."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._engine.schedule(self.interval, self._tick, name=self._name)

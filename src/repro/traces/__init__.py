@@ -1,0 +1,52 @@
+"""Invocation traces.
+
+The paper drives everything with the Azure Functions Invocation Trace
+2021 (424 functions, ~2M invocations). The trace file is not
+redistributable, so :mod:`repro.traces.azure` synthesizes a population
+with the same published characteristics: heavy-tailed per-function
+rates, a large timer-triggered (fixed-interval) share, bursty on/off
+behaviour, and ~60 % of containers serving at most two requests under
+a 10-minute keep-alive.
+"""
+
+from repro.traces.model import FunctionTrace, TraceSet
+from repro.traces.patterns import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+)
+from repro.traces.azure import AzureTraceConfig, generate_azure_like, sample_function_trace
+from repro.traces.analysis import (
+    KeepAliveReplay,
+    cdf,
+    classify_load,
+    replay_keepalive,
+    requests_per_container,
+    reused_intervals,
+)
+from repro.traces.io import load_azure_csv, load_trace_set, save_trace_set
+from repro.traces.mapper import map_population, merged_events
+
+__all__ = [
+    "FunctionTrace",
+    "TraceSet",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "periodic_arrivals",
+    "diurnal_arrivals",
+    "AzureTraceConfig",
+    "generate_azure_like",
+    "sample_function_trace",
+    "KeepAliveReplay",
+    "replay_keepalive",
+    "requests_per_container",
+    "reused_intervals",
+    "classify_load",
+    "cdf",
+    "load_azure_csv",
+    "save_trace_set",
+    "load_trace_set",
+    "map_population",
+    "merged_events",
+]

@@ -1,0 +1,184 @@
+"""Analytic keep-alive replay and trace statistics.
+
+The paper's motivational numbers (Fig. 1, Fig. 5, §8.4) come from
+replaying invocation timestamps against a keep-alive rule without the
+full memory simulation. This module implements that replay: greedy
+MRU container assignment, single request per container at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+@dataclass
+class ContainerSpan:
+    """One container's life in an analytic replay."""
+
+    created_at: float
+    requests: int = 0
+    busy_time: float = 0.0
+    idle_since: float = 0.0  # start of current idle period
+    reused_intervals: List[float] = field(default_factory=list)
+    ended_at: float = 0.0
+
+    @property
+    def lifetime(self) -> float:
+        return self.ended_at - self.created_at
+
+    @property
+    def idle_time(self) -> float:
+        return max(0.0, self.lifetime - self.busy_time)
+
+
+@dataclass
+class KeepAliveReplay:
+    """Aggregate outcome of replaying one function's timestamps."""
+
+    timeout: float
+    exec_time: float
+    containers: List[ContainerSpan]
+    cold_starts: int
+    total_requests: int
+
+    @property
+    def cold_start_ratio(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self.cold_starts / self.total_requests
+
+    @property
+    def total_lifetime(self) -> float:
+        return sum(span.lifetime for span in self.containers)
+
+    @property
+    def total_idle_time(self) -> float:
+        return sum(span.idle_time for span in self.containers)
+
+    @property
+    def memory_inactive_fraction(self) -> float:
+        """Share of container lifetime spent idle (Fig. 1 left axis)."""
+        lifetime = self.total_lifetime
+        if lifetime <= 0:
+            return 0.0
+        return self.total_idle_time / lifetime
+
+    @property
+    def requests_per_container(self) -> List[int]:
+        return [span.requests for span in self.containers]
+
+    @property
+    def reused_intervals(self) -> List[float]:
+        return [
+            interval
+            for span in self.containers
+            for interval in span.reused_intervals
+        ]
+
+
+def replay_keepalive(
+    timestamps: Sequence[float],
+    timeout: float,
+    exec_time: float = 1.0,
+    horizon: float = None,
+) -> KeepAliveReplay:
+    """Greedy single-function keep-alive replay.
+
+    Containers serve one request at a time; an idle container expires
+    ``timeout`` seconds after going idle; arrivals pick the
+    most-recently-idle available container, else cold-start a new one.
+    """
+    if timeout <= 0:
+        raise TraceError(f"timeout must be positive, got {timeout}")
+    if exec_time <= 0:
+        raise TraceError(f"exec_time must be positive, got {exec_time}")
+    live: List[ContainerSpan] = []
+    finished: List[ContainerSpan] = []
+    cold_starts = 0
+    last_arrival = 0.0
+    for arrival in timestamps:
+        if arrival < last_arrival:
+            raise TraceError("timestamps must be sorted")
+        last_arrival = arrival
+        # Expire idle containers whose keep-alive lapsed before now.
+        still_live: List[ContainerSpan] = []
+        for span in live:
+            if span.idle_since + timeout < arrival:
+                span.ended_at = span.idle_since + timeout
+                finished.append(span)
+            else:
+                still_live.append(span)
+        live = still_live
+        # Available = currently idle (idle_since <= arrival).
+        available = [span for span in live if span.idle_since <= arrival]
+        if available:
+            span = max(available, key=lambda s: s.idle_since)
+            span.reused_intervals.append(arrival - span.idle_since)
+        else:
+            span = ContainerSpan(created_at=arrival, idle_since=arrival)
+            live.append(span)
+            cold_starts += 1
+        span.requests += 1
+        span.busy_time += exec_time
+        span.idle_since = arrival + exec_time
+    for span in live:
+        expiry = span.idle_since + timeout
+        if horizon is None:
+            # No horizon: containers live out their full keep-alive.
+            span.ended_at = expiry
+        else:
+            span.ended_at = min(expiry, max(horizon, span.idle_since))
+        finished.append(span)
+    finished.sort(key=lambda s: s.created_at)
+    return KeepAliveReplay(
+        timeout=timeout,
+        exec_time=exec_time,
+        containers=finished,
+        cold_starts=cold_starts,
+        total_requests=len(list(timestamps)),
+    )
+
+
+def requests_per_container(
+    timestamps: Sequence[float], timeout: float, exec_time: float = 1.0
+) -> List[int]:
+    """Requests served by each container (Fig. 5 input)."""
+    return replay_keepalive(timestamps, timeout, exec_time).requests_per_container
+
+
+def reused_intervals(
+    timestamps: Sequence[float], timeout: float, exec_time: float = 1.0
+) -> List[float]:
+    """Idle durations preceding each warm reuse (§6.1 CDF input)."""
+    return replay_keepalive(timestamps, timeout, exec_time).reused_intervals
+
+
+def classify_load(rate_per_day: float) -> str:
+    """Paper §8.4 classes: high > 512/day, low < 64/day, else middle."""
+    if rate_per_day > 512:
+        return "high"
+    if rate_per_day < 64:
+        return "low"
+    return "middle"
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF points (x sorted ascending, F in (0, 1])."""
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        return np.array([]), np.array([])
+    fractions = np.arange(1, data.size + 1) / data.size
+    return data, fractions
+
+
+def percentile_or(values: Sequence[float], q: float, default: float) -> float:
+    """Percentile with a fallback for empty inputs (sparse functions)."""
+    data = list(values)
+    if not data:
+        return default
+    return float(np.percentile(np.asarray(data, dtype=float), q))

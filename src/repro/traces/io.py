@@ -1,0 +1,119 @@
+"""Trace file I/O.
+
+Two formats:
+
+* the **Azure Functions Invocation Trace 2021** CSV the paper uses
+  (``app,func,end_timestamp,duration`` rows, one per invocation) — if
+  you have the real file, load it here and feed it to any experiment;
+* a simple **JSON** format for saving/sharing synthetic traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import defaultdict
+from typing import Dict, Iterable, List, TextIO, Union
+
+from repro.errors import TraceError
+from repro.traces.model import FunctionTrace, TraceSet
+
+PathOrFile = Union[str, TextIO]
+
+
+def load_azure_csv(
+    source: PathOrFile,
+    duration: float = None,
+    use_start_times: bool = True,
+    max_functions: int = None,
+) -> TraceSet:
+    """Parse the Azure invocation-trace CSV format.
+
+    Each row is ``app,func,end_timestamp,duration`` (seconds). The
+    trace records invocation *end* times; with ``use_start_times`` the
+    loader subtracts the duration to recover firing times, as the
+    paper replays detailed firing timestamps.
+    """
+    rows = _read_rows(source)
+    per_function: Dict[str, List[float]] = defaultdict(list)
+    max_time = 0.0
+    for line_number, row in enumerate(rows, start=1):
+        if not row or row[0].startswith("#"):
+            continue
+        if line_number == 1 and not _is_float(row[2] if len(row) > 2 else ""):
+            continue  # header line
+        if len(row) < 4:
+            raise TraceError(f"azure csv line {line_number}: expected 4 fields")
+        app, func, end_ts, dur = row[0], row[1], row[2], row[3]
+        try:
+            end_time = float(end_ts)
+            exec_duration = float(dur)
+        except ValueError as exc:
+            raise TraceError(f"azure csv line {line_number}: {exc}") from None
+        fire = end_time - exec_duration if use_start_times else end_time
+        if fire < 0:
+            fire = 0.0
+        name = f"{app}/{func}"
+        per_function[name].append(fire)
+        max_time = max(max_time, fire)
+    span = duration if duration is not None else max_time + 1.0
+    trace_set = TraceSet()
+    for index, (name, times) in enumerate(sorted(per_function.items())):
+        if max_functions is not None and index >= max_functions:
+            break
+        times = sorted(t for t in times if t <= span)
+        trace_set.add(FunctionTrace(name=name, timestamps=times, duration=span))
+    return trace_set
+
+
+def save_trace_set(trace_set: TraceSet, destination: PathOrFile) -> None:
+    """Write a TraceSet to the JSON interchange format."""
+    payload = {
+        "duration": trace_set.duration,
+        "functions": {
+            trace.name: trace.timestamps for trace in trace_set
+        },
+    }
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, destination)
+
+
+def load_trace_set(source: PathOrFile) -> TraceSet:
+    """Read a TraceSet from the JSON interchange format."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    try:
+        duration = float(payload["duration"])
+        functions = payload["functions"]
+    except (KeyError, TypeError) as exc:
+        raise TraceError(f"malformed trace JSON: {exc}") from None
+    trace_set = TraceSet()
+    for name, timestamps in functions.items():
+        trace_set.add(
+            FunctionTrace(
+                name=name, timestamps=[float(t) for t in timestamps], duration=duration
+            )
+        )
+    return trace_set
+
+
+def _read_rows(source: PathOrFile) -> Iterable[List[str]]:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            yield from csv.reader(handle)
+    else:
+        yield from csv.reader(source)
+
+
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

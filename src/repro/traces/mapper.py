@@ -1,0 +1,91 @@
+"""Mapping anonymous trace functions onto benchmarks (paper §8.2).
+
+The Azure trace is anonymized; the paper "map[s] them to our
+benchmarks" to give each anonymous function a concrete memory/compute
+profile. This module implements that assignment with a rate-aware
+heuristic: heavyweight applications (Bert/Graph/Web) take the
+higher-volume functions — matching the paper's emphasis on real-world
+applications under high load — while micro-benchmarks cover the long
+tail, round-robin so all eleven appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.traces.model import TraceSet
+from repro.workloads import application_names, micro_benchmark_names
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One anonymous function bound to a benchmark profile."""
+
+    function: str
+    benchmark: str
+    invocations: int
+
+
+def map_population(
+    population: TraceSet,
+    application_share: float = 0.3,
+    min_invocations: int = 1,
+    max_functions: Optional[int] = None,
+) -> List[Binding]:
+    """Assign every (non-empty) trace function to a benchmark.
+
+    Args:
+        application_share: fraction of functions (taken from the top
+            of the per-function volume ranking) bound to the three
+            real-world applications; the rest round-robin over the
+            eight micro-benchmarks.
+        min_invocations: functions below this volume are skipped.
+        max_functions: optionally cap the population (highest-volume
+            functions first), for bounded experiment runtimes.
+    """
+    if not 0 <= application_share <= 1:
+        raise TraceError(f"application_share must be in [0, 1], got {application_share}")
+    ranked = sorted(
+        (trace for trace in population if trace.count >= max(min_invocations, 1)),
+        key=lambda t: (-t.count, t.name),
+    )
+    if max_functions is not None:
+        ranked = ranked[:max_functions]
+    if not ranked:
+        raise TraceError("population has no functions with enough invocations")
+    apps = application_names()
+    micros = micro_benchmark_names()
+    n_apps = int(round(application_share * len(ranked)))
+    bindings: List[Binding] = []
+    for index, trace in enumerate(ranked):
+        if index < n_apps:
+            benchmark = apps[index % len(apps)]
+        else:
+            benchmark = micros[(index - n_apps) % len(micros)]
+        bindings.append(
+            Binding(function=trace.name, benchmark=benchmark, invocations=trace.count)
+        )
+    return bindings
+
+
+def merged_events(population: TraceSet, bindings: Sequence[Binding]):
+    """Time-sorted (timestamp, function_name) events for bound functions."""
+    bound = {binding.function for binding in bindings}
+    events = [
+        (timestamp, trace.name)
+        for trace in population
+        if trace.name in bound
+        for timestamp in trace.timestamps
+    ]
+    events.sort()
+    return events
+
+
+def binding_table(bindings: Sequence[Binding]) -> Dict[str, int]:
+    """Functions per benchmark (sanity/reporting helper)."""
+    table: Dict[str, int] = {}
+    for binding in bindings:
+        table[binding.benchmark] = table.get(binding.benchmark, 0) + 1
+    return table

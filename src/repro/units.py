@@ -1,0 +1,99 @@
+"""Byte / page / time unit helpers.
+
+The whole library accounts memory in 4 KiB pages (the x86-64 base page
+size used by the paper's kernel implementation) and time in seconds.
+These helpers keep conversions explicit and in one place.
+"""
+
+from __future__ import annotations
+
+PAGE_SIZE: int = 4096
+"""Bytes per page (4 KiB base pages, as in the paper's Linux 6.1 setup)."""
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+
+
+def pages_from_bytes(num_bytes: float) -> int:
+    """Return the number of whole pages needed to hold ``num_bytes``.
+
+    Rounds up, so any non-zero byte count occupies at least one page.
+
+    >>> pages_from_bytes(1)
+    1
+    >>> pages_from_bytes(4096)
+    1
+    >>> pages_from_bytes(4097)
+    2
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    return int(-(-num_bytes // PAGE_SIZE))
+
+
+def pages_from_mib(mib: float) -> int:
+    """Return the number of whole pages in ``mib`` mebibytes."""
+    return pages_from_bytes(mib * MIB)
+
+
+def bytes_from_pages(pages: int) -> int:
+    """Return the byte size of ``pages`` pages."""
+    if pages < 0:
+        raise ValueError(f"page count must be non-negative, got {pages}")
+    return pages * PAGE_SIZE
+
+
+def mib_from_pages(pages: int) -> float:
+    """Return the size of ``pages`` pages in mebibytes."""
+    return bytes_from_pages(pages) / MIB
+
+
+def gib_from_pages(pages: int) -> float:
+    """Return the size of ``pages`` pages in gibibytes."""
+    return bytes_from_pages(pages) / GIB
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a human-readable binary suffix.
+
+    >>> format_bytes(512)
+    '512 B'
+    >>> format_bytes(2 * 1024 * 1024)
+    '2.00 MiB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes < KIB:
+        return f"{int(num_bytes)} B"
+    for suffix, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.2f} {suffix}"
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly (``1.50ms``, ``2.3s``, ``4m10s``).
+
+    >>> format_duration(0.0015)
+    '1.50ms'
+    >>> format_duration(250)
+    '4m10s'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, MINUTE)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:.0f}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{int(hours)}h{int(minutes)}m"

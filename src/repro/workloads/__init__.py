@@ -1,0 +1,41 @@
+"""Benchmark workload models.
+
+Each of the paper's 11 benchmarks (8 FunctionBench micro-benchmarks +
+Bert / Graph / Web applications) is described by a
+:class:`WorkloadProfile`: how much memory each lifecycle segment
+allocates, which parts of it each request touches, and how long
+launch / init / execution take. The profiles encode the access
+patterns the paper measures (Fig. 4, 6, 8, 9) rather than executing
+real function code.
+"""
+
+from repro.workloads.profile import (
+    FullScanInit,
+    InitLayout,
+    ParetoInit,
+    RuntimeProfile,
+    UniformInit,
+    WorkloadProfile,
+)
+from repro.workloads.registry import (
+    all_benchmarks,
+    application_names,
+    get_profile,
+    micro_benchmark_names,
+)
+from repro.workloads.runtimes import RUNTIME_FOOTPRINTS, RuntimeFootprint
+
+__all__ = [
+    "WorkloadProfile",
+    "RuntimeProfile",
+    "InitLayout",
+    "UniformInit",
+    "ParetoInit",
+    "FullScanInit",
+    "get_profile",
+    "all_benchmarks",
+    "micro_benchmark_names",
+    "application_names",
+    "RUNTIME_FOOTPRINTS",
+    "RuntimeFootprint",
+]

@@ -1,0 +1,84 @@
+"""The three real-world applications: Bert, Graph, Web (paper §8.1).
+
+* **Bert** — BERT-based ML inference. Initialization allocates ~1 GB
+  (Fig. 6 shows the footprint climbing to 1000 MB in the first 5 s),
+  releases part of it, and each request touches ~400 MB of hot weights
+  plus a request-dependent slice of the network; ~210 MB of scratch is
+  allocated per execution (total ~610 MB accessed per request).
+* **Graph** — breadth-first search; every request traverses the whole
+  graph, so its init data never goes cold (poor offload ratio).
+* **Web** — HTML web service; requests select cached pages by a
+  Pareto-distributed index, leaving a long cold tail (best offload
+  ratio).
+
+CPU assignments (1 / 0.5 / 0.2 core) and memory quotas
+(1280 / 256 / 384 MiB, §8.6) follow the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.profile import (
+    FullScanInit,
+    ParetoInit,
+    UniformInit,
+    WorkloadProfile,
+)
+from repro.workloads.runtimes import make_runtime_profile
+
+BERT = WorkloadProfile(
+    name="bert",
+    runtime=make_runtime_profile("openwhisk", "python"),
+    init_layout=UniformInit(
+        hot_mib=380.0,
+        cold_mib=380.0,
+        tail_chunks=40,
+        tail_chunk_mib=1.0,
+        tail_touch_prob=0.05,
+        cold_chunk_mib=8.0,
+    ),
+    init_time_s=5.0,
+    exec_time_s=0.13,
+    exec_mib=210.0,
+    quota_mib=1280.0,
+    cpu_share=1.0,
+    exec_time_cv=0.08,
+    init_transient_mib=200.0,
+)
+
+GRAPH = WorkloadProfile(
+    name="graph",
+    runtime=make_runtime_profile("openwhisk", "python"),
+    init_layout=FullScanInit(data_mib=150.0, cold_mib=25.0, data_chunks=8),
+    init_time_s=1.2,
+    exec_time_s=0.24,
+    exec_mib=30.0,
+    quota_mib=256.0,
+    cpu_share=0.5,
+    exec_time_cv=0.06,
+)
+
+WEB = WorkloadProfile(
+    name="web",
+    runtime=make_runtime_profile("openwhisk", "python"),
+    init_layout=ParetoInit(
+        common_hot_mib=60.0,
+        cold_mib=40.0,
+        n_objects=144,
+        object_mib=1.25,
+        alpha=1.16,
+    ),
+    init_time_s=1.0,
+    exec_time_s=0.12,
+    exec_mib=8.0,
+    quota_mib=384.0,
+    cpu_share=0.2,
+    exec_time_cv=0.12,
+)
+
+APPLICATIONS: Dict[str, WorkloadProfile] = {
+    "bert": BERT,
+    "graph": GRAPH,
+    "web": WEB,
+}

@@ -1,0 +1,57 @@
+"""The eight FunctionBench micro-benchmarks (paper §8.1).
+
+All eight run on the OpenWhisk Python runtime with the popular
+0.1-core setting. Their init segments are tiny (a few MiB of imported
+packages), so nearly all of their offloadable memory sits in the
+runtime segment — which is why FaaSMem offloads at least 50 % of their
+footprint (§8.2.1).
+
+Exec-segment sizes and service times follow FunctionBench's published
+characteristics at 0.1 core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.profile import UniformInit, WorkloadProfile
+from repro.workloads.runtimes import make_runtime_profile
+
+_MICRO_QUOTA_MIB = 128.0
+
+
+def _micro(
+    name: str,
+    exec_time_s: float,
+    exec_mib: float,
+    init_hot_mib: float,
+    init_cold_mib: float,
+    init_time_s: float = 0.3,
+) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        runtime=make_runtime_profile("openwhisk", "python"),
+        init_layout=UniformInit(hot_mib=init_hot_mib, cold_mib=init_cold_mib),
+        init_time_s=init_time_s,
+        exec_time_s=exec_time_s,
+        exec_mib=exec_mib,
+        quota_mib=_MICRO_QUOTA_MIB,
+        cpu_share=0.1,
+        exec_time_cv=0.15,
+    )
+
+
+MICRO_BENCHMARKS: Dict[str, WorkloadProfile] = {
+    "json": _micro("json", exec_time_s=0.10, exec_mib=16, init_hot_mib=2, init_cold_mib=3),
+    "gzip": _micro("gzip", exec_time_s=0.35, exec_mib=30, init_hot_mib=2, init_cold_mib=2),
+    "pyaes": _micro("pyaes", exec_time_s=0.30, exec_mib=8, init_hot_mib=3, init_cold_mib=2),
+    "chameleon": _micro(
+        "chameleon", exec_time_s=0.25, exec_mib=15, init_hot_mib=5, init_cold_mib=4
+    ),
+    "image": _micro("image", exec_time_s=0.40, exec_mib=55, init_hot_mib=8, init_cold_mib=6),
+    "linpack": _micro(
+        "linpack", exec_time_s=0.30, exec_mib=35, init_hot_mib=6, init_cold_mib=4
+    ),
+    "matmul": _micro("matmul", exec_time_s=0.35, exec_mib=45, init_hot_mib=6, init_cold_mib=4),
+    "float": _micro("float", exec_time_s=0.08, exec_mib=2, init_hot_mib=1, init_cold_mib=1),
+}

@@ -1,0 +1,55 @@
+"""Benchmark registry: name -> WorkloadProfile lookup."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.applications import APPLICATIONS
+from repro.workloads.functionbench import MICRO_BENCHMARKS
+from repro.workloads.profile import WorkloadProfile
+
+_ALL: Dict[str, WorkloadProfile] = {**MICRO_BENCHMARKS, **APPLICATIONS}
+
+# Fig. 2 / Fig. 12 ordering: applications first, then micros.
+BENCHMARK_ORDER: List[str] = [
+    "bert",
+    "graph",
+    "web",
+    "float",
+    "matmul",
+    "linpack",
+    "image",
+    "chameleon",
+    "pyaes",
+    "gzip",
+    "json",
+]
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Return the profile for a benchmark name.
+
+    Raises :class:`WorkloadError` (with the list of known names) for
+    typos rather than a bare KeyError.
+    """
+    try:
+        return _ALL[name]
+    except KeyError:
+        known = ", ".join(sorted(_ALL))
+        raise WorkloadError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def all_benchmarks() -> List[str]:
+    """All 11 benchmark names in the paper's plotting order."""
+    return list(BENCHMARK_ORDER)
+
+
+def micro_benchmark_names() -> List[str]:
+    """The eight FunctionBench micro-benchmarks."""
+    return [name for name in BENCHMARK_ORDER if name in MICRO_BENCHMARKS]
+
+
+def application_names() -> List[str]:
+    """The three real-world applications."""
+    return [name for name in BENCHMARK_ORDER if name in APPLICATIONS]

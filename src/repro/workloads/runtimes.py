@@ -1,0 +1,60 @@
+"""Container runtime footprints (paper §3.1, Fig. 4).
+
+The paper measures the inactive (cold) runtime-segment memory of
+hello-world containers built from official OpenWhisk and Azure
+Functions images, across Node.js / Python / Java runtimes. These
+constants encode those measurements; the simulation's RuntimeProfile
+objects are derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.profile import RuntimeProfile
+
+
+@dataclass(frozen=True)
+class RuntimeFootprint:
+    """One (platform, language) runtime measurement."""
+
+    platform: str
+    language: str
+    inactive_mib: float  # cold after a hello-world execution (Fig. 4)
+    hot_mib: float  # still touched per request (proxy, interpreter core)
+    launch_time_s: float
+
+
+# Fig. 4: OpenWhisk Python/Java measure 24 / 57 MiB inactive; all three
+# Azure runtimes exceed 100 MiB; Java is largest due to the JVM.
+RUNTIME_FOOTPRINTS: List[RuntimeFootprint] = [
+    RuntimeFootprint("openwhisk", "nodejs", inactive_mib=30.0, hot_mib=14.0, launch_time_s=0.6),
+    RuntimeFootprint("openwhisk", "python", inactive_mib=24.0, hot_mib=12.0, launch_time_s=0.8),
+    RuntimeFootprint("openwhisk", "java", inactive_mib=57.0, hot_mib=28.0, launch_time_s=1.4),
+    RuntimeFootprint("azure", "nodejs", inactive_mib=105.0, hot_mib=32.0, launch_time_s=0.9),
+    RuntimeFootprint("azure", "python", inactive_mib=118.0, hot_mib=36.0, launch_time_s=1.1),
+    RuntimeFootprint("azure", "java", inactive_mib=142.0, hot_mib=48.0, launch_time_s=1.8),
+]
+
+_BY_KEY: Dict[Tuple[str, str], RuntimeFootprint] = {
+    (fp.platform, fp.language): fp for fp in RUNTIME_FOOTPRINTS
+}
+
+
+def runtime_footprint(platform: str, language: str) -> RuntimeFootprint:
+    """Look up a measured footprint; raises KeyError for unknown pairs."""
+    return _BY_KEY[(platform, language)]
+
+
+def make_runtime_profile(
+    platform: str = "openwhisk", language: str = "python"
+) -> RuntimeProfile:
+    """Build a simulation RuntimeProfile from the measured footprints."""
+    footprint = runtime_footprint(platform, language)
+    return RuntimeProfile(
+        name=f"{platform}/{language}",
+        hot_mib=footprint.hot_mib,
+        cold_mib=footprint.inactive_mib,
+        launch_time_s=footprint.launch_time_s,
+    )

@@ -1,0 +1,109 @@
+"""Public API surface checks: exports exist, are documented, and the
+documented quickstart actually runs."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.mem",
+    "repro.pool",
+    "repro.faas",
+    "repro.workloads",
+    "repro.traces",
+    "repro.core",
+    "repro.cluster",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_imports_and_documents(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a module docstring"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} in __all__ but missing"
+
+    def test_top_level_symbols(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize(
+        "obj_path",
+        [
+            "repro.core.FaaSMemPolicy",
+            "repro.core.FaaSMemConfig",
+            "repro.faas.ServerlessPlatform",
+            "repro.faas.Prewarmer",
+            "repro.baselines.TmoPolicy",
+            "repro.baselines.DamonPolicy",
+            "repro.cluster.Cluster",
+            "repro.traces.generate_azure_like",
+            "repro.workloads.get_profile",
+        ],
+    )
+    def test_public_objects_documented(self, obj_path):
+        module_name, attr = obj_path.rsplit(".", 1)
+        obj = getattr(importlib.import_module(module_name), attr)
+        assert obj.__doc__ and len(obj.__doc__.strip()) > 10
+
+
+class TestQuickstartFromReadme:
+    def test_readme_quickstart_runs(self):
+        from repro import (
+            FaaSMemPolicy,
+            ServerlessPlatform,
+            get_profile,
+            sample_function_trace,
+        )
+
+        trace = sample_function_trace("high", duration=300.0, seed=1)
+        platform = ServerlessPlatform(FaaSMemPolicy())
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace((t, "web") for t in trace.timestamps)
+        summary = platform.summarize("web", "demo", window=trace.duration)
+        row = summary.row()
+        assert row["requests"] == trace.count
+        assert row["avg_mem_mib"] > 0
+
+
+class TestDoctests:
+    def test_doctests_pass(self):
+        import doctest
+
+        import repro.units
+        import repro.sim.engine
+        import repro.core.windows
+        import repro.metrics.export
+        import repro.metrics.timeweighted
+        import repro.metrics.plots
+        import repro.sim.randomness
+
+        for module in (
+            repro.units,
+            repro.sim.engine,
+            repro.core.windows,
+            repro.metrics.export,
+            repro.metrics.timeweighted,
+            repro.metrics.plots,
+            repro.sim.randomness,
+        ):
+            failures, _ = doctest.testmod(module)
+            assert failures == 0, f"doctest failures in {module.__name__}"

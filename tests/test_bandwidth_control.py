@@ -1,0 +1,74 @@
+"""Integration tests for gradual offload under bandwidth pressure (§6.2).
+
+When a burst leaves many containers entering semi-warm simultaneously,
+gradual offloading spreads the write-out over time, and the global
+monitor throttles everyone as the link saturates.
+"""
+
+import pytest
+
+from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.pool.link import LinkConfig, LinkDirection
+from repro.workloads import get_profile
+
+
+def surge_platform(link_bandwidth_bytes=None, **config_kwargs):
+    """Many bert containers created together, then all idle."""
+    link = LinkConfig()
+    if link_bandwidth_bytes is not None:
+        link.bandwidth_bytes_per_s = link_bandwidth_bytes
+    policy = FaaSMemPolicy(
+        FaaSMemConfig(**config_kwargs), reuse_priors={"bert": [2.0] * 50}
+    )
+    platform = ServerlessPlatform(
+        policy, config=PlatformConfig(seed=7, link=link, max_queue_per_container=0)
+    )
+    platform.register_function("bert", get_profile("bert"))
+    # 8 simultaneous requests -> 8 containers (queue bound 0 forces
+    # one container per in-flight request).
+    for index in range(8):
+        platform.submit("bert", 0.001 * index)
+    return platform
+
+
+class TestGradualOffload:
+    def test_drain_spreads_over_time(self):
+        platform = surge_platform()
+        platform.engine.run(until=30.0)
+        early_pool = platform.pool.used_pages
+        platform.engine.run(until=90.0)
+        late_pool = platform.pool.used_pages
+        # Draining is ongoing, not a single burst at semi-warm entry.
+        assert 0 < early_pool < late_pool
+
+    def test_all_containers_drain_eventually(self):
+        platform = surge_platform()
+        platform.engine.run(until=400.0)
+        for container in platform.controller.all_containers():
+            assert container.cgroup.remote_pages > container.cgroup.local_pages
+
+    def test_throttle_engages_on_narrow_link(self):
+        # A deliberately tiny link (50 MiB/s): eight bert containers at
+        # 1 %/s (~10 MiB/s each) would need ~80 MiB/s, so the monitor
+        # must throttle.
+        narrow = surge_platform(link_bandwidth_bytes=50 * 1024 * 1024)
+        narrow.engine.run(until=60.0)
+        throttle = narrow.policy.platform.bandwidth_monitor.throttle_factor(
+            narrow.engine.now
+        )
+        assert throttle < 1.0
+
+    def test_narrow_link_drains_slower(self):
+        wide = surge_platform()
+        wide.engine.run(until=60.0)
+        narrow = surge_platform(link_bandwidth_bytes=50 * 1024 * 1024)
+        narrow.engine.run(until=60.0)
+        assert narrow.pool.used_pages < wide.pool.used_pages
+
+    def test_offload_bandwidth_bounded_by_link(self):
+        bandwidth = 50 * 1024 * 1024
+        platform = surge_platform(link_bandwidth_bytes=bandwidth)
+        platform.engine.run(until=120.0)
+        moved = platform.link.bytes_moved(LinkDirection.OUT, 0.0, 120.0)
+        assert moved <= bandwidth * 120.0 * 1.05

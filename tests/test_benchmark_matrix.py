@@ -1,0 +1,58 @@
+"""Matrix smoke: every benchmark under every system, tiny scale.
+
+Catches benchmark-specific regressions (a profile whose regions break
+one policy's scan path, a layout whose request model trips family
+expansion, ...) that single-benchmark tests would miss.
+"""
+
+import pytest
+
+from repro.baselines import DamonPolicy, NoOffloadPolicy, TmoPolicy
+from repro.core import FaaSMemPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.traces.azure import sample_function_trace
+from repro.workloads import all_benchmarks, get_profile
+
+SYSTEMS = {
+    "baseline": NoOffloadPolicy,
+    "tmo": TmoPolicy,
+    "damon": DamonPolicy,
+    "faasmem": FaaSMemPolicy,
+}
+
+
+@pytest.mark.parametrize("bench_name", all_benchmarks())
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_benchmark_system_matrix(bench_name, system):
+    trace = sample_function_trace("middle", duration=240.0, seed=13)
+    platform = ServerlessPlatform(SYSTEMS[system](), config=PlatformConfig(seed=13))
+    platform.register_function(bench_name, get_profile(bench_name))
+    platform.run_trace((t, bench_name) for t in trace.timestamps)
+
+    # Every request served, latencies sane.
+    assert len(platform.records) == trace.count
+    assert all(r.latency >= 0 for r in platform.records)
+    # Clean teardown: all memory returned everywhere.
+    assert platform.controller.all_containers() == []
+    assert platform.node.local_pages == 0
+    assert platform.pool.used_pages == 0
+    # Only offloading systems touch the pool.
+    moved = platform.fastswap.stats.offloaded_pages
+    if system == "baseline":
+        assert moved == 0
+    else:
+        assert moved > 0
+
+
+@pytest.mark.parametrize("bench_name", ["bert", "graph", "web", "json"])
+def test_faasmem_never_loses_to_baseline_on_memory(bench_name):
+    trace = sample_function_trace("middle", duration=600.0, seed=21)
+    outcomes = {}
+    for system in ("baseline", "faasmem"):
+        platform = ServerlessPlatform(SYSTEMS[system](), config=PlatformConfig(seed=21))
+        platform.register_function(bench_name, get_profile(bench_name))
+        platform.run_trace((t, bench_name) for t in trace.timestamps)
+        outcomes[system] = platform.summarize(
+            bench_name, "t", window=trace.duration
+        ).memory.average_mib
+    assert outcomes["faasmem"] < outcomes["baseline"]

@@ -1,0 +1,54 @@
+"""Tests for the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_flags(self):
+        args = build_parser().parse_args(["run", "fig09", "--quick", "--json", "x.json"])
+        assert args.experiment == "fig09"
+        assert args.quick
+        assert args.json == "x.json"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table1" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "fig09"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "finished in" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "result.json"
+        assert main(["run", "fig04", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert "rows" in payload
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"])
+
+    def test_quick_kwargs_applied(self, capsys):
+        # fig15 --quick uses a 300 s trace; just assert it completes fast
+        # and prints the table.
+        assert main(["run", "fig15", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "init_exec_barrier_ms" in out

@@ -1,0 +1,159 @@
+"""Unit and integration tests for the cluster placement layer."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, PlacementError
+from repro.cluster.cluster import DeployEvent, deployment_events_from_run
+from repro.cluster.scheduler import (
+    BestFitScheduler,
+    FirstFitScheduler,
+    WorstFitScheduler,
+)
+from repro.errors import ReproError
+
+
+class TestSchedulers:
+    FREE = {"a": 100.0, "b": 300.0, "c": 200.0}
+
+    def test_worst_fit_picks_emptiest(self):
+        assert WorstFitScheduler().place(50, dict(self.FREE)) == "b"
+
+    def test_best_fit_packs_tightest(self):
+        assert BestFitScheduler().place(150, dict(self.FREE)) == "c"
+
+    def test_first_fit_by_name(self):
+        assert FirstFitScheduler().place(50, dict(self.FREE)) == "a"
+        assert FirstFitScheduler().place(150, dict(self.FREE)) == "b"
+
+    @pytest.mark.parametrize(
+        "scheduler", [WorstFitScheduler(), BestFitScheduler(), FirstFitScheduler()]
+    )
+    def test_no_fit_raises(self, scheduler):
+        with pytest.raises(PlacementError):
+            scheduler.place(1000, dict(self.FREE))
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(PlacementError):
+            WorstFitScheduler().place(1, {})
+
+
+class TestCluster:
+    def _cluster(self, n_nodes=2, capacity=1000.0):
+        return Cluster(ClusterConfig(n_nodes=n_nodes, node_capacity_mib=capacity))
+
+    def test_deploy_commits_quota(self):
+        cluster = self._cluster()
+        node = cluster.deploy(0.0, "c1", 400.0)
+        assert node is not None
+        assert cluster.nodes[node].committed_mib == 400.0
+
+    def test_release_frees_quota(self):
+        cluster = self._cluster()
+        node = cluster.deploy(0.0, "c1", 400.0)
+        cluster.release(10.0, "c1")
+        assert cluster.nodes[node].committed_mib == 0.0
+
+    def test_rejection_counted(self):
+        cluster = self._cluster(n_nodes=1, capacity=500.0)
+        assert cluster.deploy(0.0, "c1", 400.0) is not None
+        assert cluster.deploy(1.0, "c2", 400.0) is None
+        assert cluster.rejections == 1
+
+    def test_release_of_rejected_is_noop(self):
+        cluster = self._cluster(n_nodes=1, capacity=100.0)
+        cluster.deploy(0.0, "big", 200.0)
+        cluster.release(1.0, "big")  # was rejected; nothing to free
+
+    def test_double_deploy_rejected(self):
+        cluster = self._cluster()
+        cluster.deploy(0.0, "c1", 10.0)
+        with pytest.raises(ReproError):
+            cluster.deploy(1.0, "c1", 10.0)
+
+    def test_invalid_quota_rejected(self):
+        with pytest.raises(ReproError):
+            self._cluster().deploy(0.0, "c1", 0.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ReproError):
+            ClusterConfig(n_nodes=0)
+        with pytest.raises(ReproError):
+            ClusterConfig(node_capacity_mib=0)
+
+    def test_worst_fit_spreads(self):
+        cluster = self._cluster(n_nodes=2)
+        first = cluster.deploy(0.0, "c1", 100.0)
+        second = cluster.deploy(0.0, "c2", 100.0)
+        assert first != second
+
+    def test_replay_orders_releases_first(self):
+        # At t=10 a release and a deploy coincide: the release must be
+        # applied first so the deploy fits.
+        cluster = self._cluster(n_nodes=1, capacity=100.0)
+        report = cluster.replay(
+            [
+                DeployEvent(0.0, "deploy", "c1", 100.0),
+                DeployEvent(10.0, "release", "c1"),
+                DeployEvent(10.0, "deploy", "c2", 100.0),
+            ]
+        )
+        assert report.rejections == 0
+        assert report.placements == 2
+
+    def test_report_fields(self):
+        cluster = self._cluster()
+        cluster.deploy(0.0, "c1", 500.0)
+        cluster.release(10.0, "c1")
+        report = cluster.report()
+        assert report.peak_committed_mib == 500.0
+        assert 0 < report.peak_utilization <= 1.0
+        assert report.admission_ratio == 1.0
+        assert "peak_util_pct" in report.row()
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ReproError):
+            self._cluster().replay([DeployEvent(0.0, "explode", "c1", 1.0)])
+
+
+class TestDeploymentFromRun:
+    def _run(self):
+        from repro.baselines import NoOffloadPolicy
+        from repro.faas import PlatformConfig, ServerlessPlatform
+        from repro.workloads import get_profile
+
+        platform = ServerlessPlatform(
+            NoOffloadPolicy(), config=PlatformConfig(seed=2, keep_alive_s=60.0)
+        )
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace([(0.0, "web"), (10.0, "web"), (300.0, "web")])
+        return platform
+
+    def test_events_pair_up(self):
+        platform = self._run()
+        events = deployment_events_from_run(platform)
+        deploys = [e for e in events if e.kind == "deploy"]
+        releases = [e for e in events if e.kind == "release"]
+        assert len(deploys) == len(releases) == len(platform.container_history)
+
+    def test_quota_scaling(self):
+        platform = self._run()
+        events = deployment_events_from_run(platform, quota_scale={"web": 0.5})
+        deploys = [e for e in events if e.kind == "deploy"]
+        assert all(e.quota_mib == pytest.approx(192.0) for e in deploys)
+
+    def test_invalid_scale_rejected(self):
+        platform = self._run()
+        with pytest.raises(ReproError):
+            deployment_events_from_run(platform, quota_scale={"web": 1.5})
+
+    def test_scaled_replay_admits_more(self):
+        """The FaaSMem density effect at cluster scope: halved quotas
+        admit strictly more containers on a tight cluster."""
+        platform = self._run()
+        tight = ClusterConfig(n_nodes=1, node_capacity_mib=400.0)
+        full = Cluster(tight).replay(deployment_events_from_run(platform))
+        halved = Cluster(tight).replay(
+            deployment_events_from_run(platform, quota_scale={"web": 0.5})
+        )
+        assert halved.rejections <= full.rejections
+        assert halved.placements >= full.placements

@@ -1,0 +1,64 @@
+"""Tests for controller quota commitment accounting."""
+
+import pytest
+
+from repro.baselines import NoOffloadPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.workloads import get_profile
+
+
+def build(**kwargs):
+    platform = ServerlessPlatform(
+        NoOffloadPolicy(), config=PlatformConfig(seed=8, **kwargs)
+    )
+    platform.register_function("web", get_profile("web"))
+    platform.register_function("json", get_profile("json"))
+    return platform
+
+
+class TestCommittedQuota:
+    def test_commit_on_create(self):
+        platform = build()
+        platform.submit("web", 0.0)
+        platform.engine.run(until=5.0)
+        assert platform.controller.committed_mib == pytest.approx(384.0)
+
+    def test_release_on_reclaim(self):
+        platform = build(keep_alive_s=20.0)
+        platform.submit("web", 0.0)
+        platform.engine.run()
+        assert platform.controller.committed_mib == pytest.approx(0.0)
+
+    def test_mixed_functions_sum(self):
+        platform = build()
+        platform.submit("web", 0.0)
+        platform.submit("json", 0.0)
+        platform.engine.run(until=5.0)
+        assert platform.controller.committed_mib == pytest.approx(384.0 + 128.0)
+
+    def test_commitment_balances_over_full_run(self):
+        from repro.traces.azure import sample_function_trace
+
+        platform = build(keep_alive_s=60.0)
+        trace = sample_function_trace("middle", duration=600.0, seed=8)
+        platform.run_trace((t, "web") for t in trace.timestamps)
+        assert platform.controller.committed_mib == pytest.approx(0.0, abs=1e-6)
+
+    def test_pressure_eviction_releases_commitment(self):
+        platform = ServerlessPlatform(
+            NoOffloadPolicy(),
+            config=PlatformConfig(
+                seed=8,
+                node_capacity_mib=512.0,
+                evict_on_pressure=True,
+            ),
+        )
+        platform.register_function("web", get_profile("web"))
+        platform.register_function("json", get_profile("json"))
+        platform.submit("web", 0.0)
+        platform.engine.run(until=10.0)
+        # Only 128 MiB free; json (128) fits exactly after evicting web.
+        platform.submit("json", 10.0)
+        platform.engine.run(until=20.0)
+        # Committed never exceeded what fits plus the active container.
+        assert platform.controller.committed_mib <= 512.0 + 1e-9

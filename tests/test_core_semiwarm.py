@@ -1,0 +1,122 @@
+"""Unit tests for the semi-warm controller."""
+
+import pytest
+
+from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.core.semiwarm import SemiWarmEpisode
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.workloads import get_profile
+
+
+def idle_container(benchmark="json", priors=None, config=None, keep_alive_s=600.0):
+    policy = FaaSMemPolicy(config=config, reuse_priors=priors)
+    platform = ServerlessPlatform(
+        policy, config=PlatformConfig(seed=2, keep_alive_s=keep_alive_s)
+    )
+    platform.register_function(benchmark, get_profile(benchmark))
+    platform.submit(benchmark, 0.0)
+    profile = get_profile(benchmark)
+    # Run just past the first request's completion, before any
+    # semi-warm timer can fire.
+    platform.engine.run(until=profile.cold_start_s + 3 * profile.exec_time_s)
+    container = platform.controller.all_containers()[0]
+    assert container.warm
+    ctl = policy._ctl[container.container_id]
+    return platform, policy, container, ctl
+
+
+class TestEpisode:
+    def test_duration_open_and_closed(self):
+        episode = SemiWarmEpisode(start=10.0)
+        assert episode.duration(now=15.0) == 5.0
+        episode.end = 12.0
+        assert episode.duration(now=100.0) == 2.0
+
+
+class TestScheduling:
+    def test_timer_fires_at_prior_percentile(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        idle_start = container.idle_since
+        platform.engine.run(until=idle_start + 2.0)
+        assert not ctl.semiwarm.active
+        platform.engine.run(until=idle_start + 4.0)
+        assert ctl.semiwarm.active
+
+    def test_fallback_timing_without_priors(self):
+        platform, policy, container, ctl = idle_container()
+        idle_start = container.idle_since
+        fallback = policy.config.semiwarm_fallback_s
+        platform.engine.run(until=idle_start + fallback - 1.0)
+        assert not ctl.semiwarm.active
+        platform.engine.run(until=idle_start + fallback + 1.0)
+        assert ctl.semiwarm.active
+
+    def test_request_cancels_episode(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        idle_start = container.idle_since
+        platform.engine.run(until=idle_start + 5.0)
+        assert ctl.semiwarm.active
+        platform.submit("json", platform.engine.now + 1.0)
+        platform.engine.run(until=platform.engine.now + 2.0)
+        assert not ctl.semiwarm.active
+        assert ctl.semiwarm.episodes[0].end is not None
+
+    def test_new_idle_period_schedules_again(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        idle_start = container.idle_since
+        platform.engine.run(until=idle_start + 5.0)
+        platform.submit("json", platform.engine.now + 1.0)
+        platform.engine.run(until=platform.engine.now + 15.0)
+        assert len(ctl.semiwarm.episodes) == 2
+
+
+class TestGradualDrain:
+    def test_amount_based_rate_for_small_containers(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        idle_start = container.idle_since
+        platform.engine.run(until=idle_start + 4.0)
+        remote_at_4 = container.cgroup.remote_pages
+        platform.engine.run(until=idle_start + 14.0)
+        remote_at_14 = container.cgroup.remote_pages
+        drained_mib = (remote_at_14 - remote_at_4) * 4096 / 2**20
+        # Amount-based mode: ~1 MiB/s over 10 s.
+        assert 5.0 <= drained_mib <= 15.0
+
+    def test_percent_based_rate_for_large_containers(self):
+        platform, policy, container, ctl = idle_container(
+            benchmark="bert", priors={"bert": [3.0] * 50}
+        )
+        idle_start = container.idle_since
+        total = container.cgroup.total_pages
+        platform.engine.run(until=idle_start + 4.0)
+        start_remote = container.cgroup.remote_pages
+        platform.engine.run(until=idle_start + 14.0)
+        drained = container.cgroup.remote_pages - start_remote
+        # Percentile-based mode: ~1 %/s -> ~10 % over 10 s.
+        assert 0.05 * total <= drained <= 0.2 * total
+
+    def test_drain_is_gradual_not_instant(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        idle_start = container.idle_since
+        platform.engine.run(until=idle_start + 4.0)
+        assert 0 < container.cgroup.remote_pages < container.cgroup.total_pages
+
+    def test_drain_stops_when_empty(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        platform.engine.run(until=container.idle_since + 120.0)
+        assert ctl.semiwarm._drain is None  # task stopped itself
+        assert ctl.semiwarm.active  # but the period is still open
+
+    def test_total_offloaded_pages_accounted(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        platform.engine.run(until=container.idle_since + 60.0)
+        assert ctl.semiwarm.total_offloaded_pages() > 0
+
+    def test_coldest_first_order(self):
+        platform, policy, container, ctl = idle_container(priors={"json": [3.0] * 50})
+        idle_start = container.idle_since
+        platform.engine.run(until=idle_start + 3.5)
+        # First victims are Pucket-inactive (cold) pages, not hot-pool pages.
+        hot_pool_regions = ctl.state.hot_pool.regions
+        remote_hot = [r for r in hot_pool_regions if r.is_remote]
+        assert remote_hot == []

@@ -1,0 +1,88 @@
+"""Tests for the terminal figure renderers."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.figures import render_figure
+
+
+class TestRenderFigure:
+    def test_unknown_experiment_is_graceful(self):
+        result = ExperimentResult(experiment="table1", title="t")
+        assert "no figure renderer" in render_figure(result)
+
+    def test_fig01(self):
+        result = ExperimentResult(experiment="fig01", title="t")
+        result.series = {
+            "timeouts": [10, 60],
+            "inactive_fraction": [0.5, 0.9],
+            "cold_start_ratio": [0.3, 0.05],
+        }
+        text = render_figure(result)
+        assert "memory inactive time" in text
+        assert "cold-start ratio" in text
+
+    def test_fig02(self):
+        result = ExperimentResult(
+            experiment="fig02",
+            title="t",
+            rows=[{"benchmark": "bert", "slowdown_x": 8.0}],
+        )
+        assert "8" in render_figure(result)
+
+    def test_fig05(self):
+        result = ExperimentResult(experiment="fig05", title="t")
+        result.series = {"counts": [1, 1, 2, 3, 10]}
+        assert "CDF" in render_figure(result)
+
+    def test_fig06(self):
+        result = ExperimentResult(experiment="fig06", title="t")
+        result.series = {
+            "timeline": [
+                {"time_s": 0.0, "resident_mib": 0.0},
+                {"time_s": 5.0, "resident_mib": 1000.0},
+                {"time_s": 10.0, "resident_mib": 800.0},
+            ]
+        }
+        assert "Bert resident memory" in render_figure(result)
+
+    def test_fig11(self):
+        result = ExperimentResult(experiment="fig11", title="t")
+        result.series = {
+            "reuse_cdf": [(1.0, 0.5), (10.0, 1.0)],
+            "memory_timeline": [
+                {"time_s": 0.0, "local_mib": 100.0},
+                {"time_s": 10.0, "local_mib": 20.0},
+            ],
+            "semiwarm_start_s": 5.0,
+        }
+        text = render_figure(result)
+        assert "semi-warm start timing = 5.0s" in text
+
+    def test_fig12(self):
+        result = ExperimentResult(
+            experiment="fig12",
+            title="t",
+            rows=[
+                {"load": "high", "benchmark": "web", "system": "faasmem", "mem_saving_pct": 70.0},
+                {"load": "high", "benchmark": "web", "system": "tmo", "mem_saving_pct": 5.0},
+            ],
+        )
+        text = render_figure(result)
+        assert "high load" in text and "70" in text
+
+    def test_fig14(self):
+        result = ExperimentResult(
+            experiment="fig14",
+            title="t",
+            rows=[{"load_class": "low", "share_gt_50pct": 70.0}],
+        )
+        assert "semi-warm > 1/2" in render_figure(result)
+
+    def test_fig16(self):
+        rows = [
+            {"app": "bert", "req_per_min": float(i), "density_x": 1.0 + i / 100}
+            for i in range(10)
+        ]
+        result = ExperimentResult(experiment="fig16", title="t", rows=rows)
+        assert "bert: density vs load" in render_figure(result)

@@ -1,0 +1,244 @@
+"""Smoke + shape tests for every experiment harness (reduced scale)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import get_experiment, list_experiments, run_experiment
+from repro.experiments import common as common_mod
+from repro.experiments.fig01_keepalive import run as fig01
+from repro.experiments.fig02_damon import run as fig02
+from repro.experiments.fig04_runtime_memory import run as fig04
+from repro.experiments.fig05_requests_cdf import run as fig05
+from repro.experiments.fig06_bert_scan import run as fig06
+from repro.experiments.fig08_runtime_recalls import run as fig08
+from repro.experiments.fig09_web_scan import run as fig09
+from repro.experiments.fig14_semiwarm_applicability import run as fig14
+from repro.experiments.fig15_overhead import run as fig15
+from repro.experiments.table1_diverse_traces import make_trace
+from repro.units import HOUR
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        paper_artifacts = {
+            "fig01",
+            "fig02",
+            "fig04",
+            "fig05",
+            "fig06",
+            "fig08",
+            "fig09",
+            "fig12",
+            "table1",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+        }
+        paper_artifacts.add("fig11")  # design-overview figure
+        extensions = {"cluster", "replication", "pressure", "node"}
+        assert set(list_experiments()) == paper_artifacts | extensions
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("fig09", requests=50)
+        assert result.experiment == "fig09"
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01(timeouts=(10, 60, 600), duration=4 * HOUR, n_functions=80)
+
+    def test_inactive_increases_with_timeout(self, result):
+        series = result.series["inactive_fraction"]
+        assert series == sorted(series)
+
+    def test_cold_start_decreases_with_timeout(self, result):
+        series = result.series["cold_start_ratio"]
+        assert series == sorted(series, reverse=True)
+
+    def test_rows_cover_timeouts(self, result):
+        assert [row["keepalive_s"] for row in result.rows] == [10, 60, 600]
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02(benchmarks=("bert", "json"), duration=600.0)
+
+    def test_damon_slows_everything(self, result):
+        for row in result.rows:
+            assert row["slowdown_x"] > 1.2
+
+    def test_bert_hit_hard(self, result):
+        bert = next(r for r in result.rows if r["benchmark"] == "bert")
+        assert bert["slowdown_x"] > 3.0
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04()
+
+    def test_measured_matches_configured(self, result):
+        for row in result.rows:
+            assert row["inactive_mib"] == pytest.approx(row["expected_mib"], rel=0.05)
+
+    def test_azure_runtimes_exceed_100mib(self, result):
+        for row in result.rows:
+            if row["platform"] == "azure":
+                assert row["inactive_mib"] > 100
+
+    def test_java_largest(self, result):
+        for platform in ("openwhisk", "azure"):
+            rows = [r for r in result.rows if r["platform"] == platform]
+            java = next(r for r in rows if r["language"] == "java")
+            assert java["inactive_mib"] == max(r["inactive_mib"] for r in rows)
+
+
+class TestFig05:
+    def test_cdf_monotone_and_substantial_small_containers(self):
+        result = fig05(duration=4 * HOUR, n_functions=80)
+        values = [row["cdf_pct"] for row in result.rows]
+        assert values == sorted(values)
+        at_two = next(r for r in result.rows if r["requests_per_container"] == 2)
+        assert at_two["cdf_pct"] > 25  # many short-lived containers
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06()
+
+    def test_init_peak_near_1000mib(self, result):
+        assert 850 <= result.series["peak_mib"] <= 1150
+
+    def test_per_request_access_around_600mib(self, result):
+        for row in result.rows:
+            assert 550 <= row["total_accessed_mib"] <= 700
+
+    def test_hot_init_access_around_400mib(self, result):
+        for row in result.rows:
+            assert 350 <= row["init_hot_mib"] <= 450
+
+
+class TestFig08:
+    def test_recalls_are_rare(self):
+        result = fig08(benchmarks=("json", "web"), duration=300.0)
+        for row in result.rows:
+            assert row["runtime_recalls"] <= 3
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09(requests=300)
+
+    def test_skewed_popularity(self, result):
+        assert result.series["top5_share"] > 0.2
+        assert result.series["gini"] > 0.5
+
+    def test_long_tail_exists(self, result):
+        assert result.series["distinct_objects"] < result.series["n_objects"]
+
+    def test_hits_conserved(self, result):
+        assert sum(row["hits"] for row in result.rows) == 300
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Full scale: the bursty structure of high-load functions needs
+        # a day-long window to show up (the replay is cheap).
+        return fig14(duration=24 * HOUR, n_functions=424)
+
+    def test_low_load_benefits_most(self, result):
+        by_class = {row["load_class"]: row for row in result.rows}
+        assert (
+            by_class["low"]["median_semiwarm_share_pct"]
+            > by_class["middle"]["median_semiwarm_share_pct"]
+        )
+
+    def test_high_beats_middle_on_gt_half_share(self, result):
+        by_class = {row["load_class"]: row for row in result.rows}
+        assert by_class["high"]["share_gt_50pct"] >= by_class["middle"]["share_gt_50pct"]
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig15(benchmarks=("bert", "json"), duration=200.0)
+
+    def test_bert_init_barrier_costlier_than_micro(self, result):
+        rows = {row["benchmark"]: row for row in result.rows}
+        assert rows["bert"]["init_exec_barrier_ms"] > rows["json"]["init_exec_barrier_ms"]
+
+    def test_barriers_in_millisecond_range(self, result):
+        for row in result.rows:
+            assert row["runtime_init_barrier_ms"] < 5.0
+            assert row["init_exec_barrier_ms"] < 15.0
+
+
+class TestTable1Traces:
+    def test_trace_ids_valid(self):
+        for trace_id in range(1, 7):
+            trace = make_trace(trace_id, duration=600.0)
+            assert trace.count > 0
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(7)
+
+    def test_id5_is_surge(self):
+        surge = make_trace(5, duration=3600.0)
+        normal = make_trace(1, duration=3600.0)
+        # The surge trace concentrates arrivals into a tight window.
+        assert surge.iat_std > 0
+
+
+class TestCommonHelpers:
+    def test_make_reuse_priors(self):
+        from repro.traces.azure import sample_function_trace
+
+        trace = sample_function_trace("high", duration=900.0, seed=1)
+        priors = common_mod.make_reuse_priors(trace, "web")
+        assert "web" in priors and len(priors["web"]) > 0
+
+    def test_system_factories_contents(self):
+        factories = common_mod.system_factories()
+        assert set(factories) == {"baseline", "tmo", "faasmem"}
+        factories = common_mod.system_factories(include_damon=True)
+        assert "damon" in factories
+
+    def test_experiment_result_render(self):
+        result = common_mod.ExperimentResult(
+            experiment="x", title="T", rows=[{"a": 1}], notes=["n"]
+        )
+        text = result.render()
+        assert "== x: T ==" in text and "note: n" in text
+
+
+class TestPressureExperiment:
+    def test_quota_reduction_reduces_evictions(self):
+        from repro.experiments.pressure import run as pressure_run
+
+        result = pressure_run(duration=900.0)
+        rows = {row["system"]: row for row in result.rows}
+        assert (
+            rows["faasmem"]["pressure_evictions"]
+            <= rows["baseline"]["pressure_evictions"]
+        )
+        assert rows["faasmem"]["requests"] == rows["baseline"]["requests"]
+
+
+class TestClusterExperiment:
+    def test_reduced_quotas_never_hurt_admission(self):
+        from repro.experiments.cluster_density import run as cluster_run
+
+        result = cluster_run(duration=900.0, applications=("web",))
+        row = result.rows[0]
+        assert row["admission_pct_faasmem"] >= row["admission_pct_original"]

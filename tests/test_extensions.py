@@ -1,0 +1,95 @@
+"""Tests for the extension features beyond the paper's headline system:
+cold-start-aware semi-warm timing (§8.3.2), CXL link presets (§9) and
+the provisioning calculator is covered separately."""
+
+import pytest
+
+from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.core.profiler import FunctionProfiler
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.pool.link import Link, LinkConfig
+from repro.workloads import get_profile
+
+
+class TestColdstartAwareTiming:
+    def test_censored_samples_lift_percentile(self):
+        config = FaaSMemConfig(
+            coldstart_aware_timing=True,
+            coldstart_censor_s=600.0,
+            semiwarm_min_samples=5,
+        )
+        profiler = FunctionProfiler(config)
+        for _ in range(50):
+            profiler.record_reuse("f", 5.0)
+        baseline_timing = profiler.semiwarm_start_timing("f")
+        for _ in range(5):  # ~10 % cold starts
+            profiler.record_cold_start("f")
+        lifted = profiler.semiwarm_start_timing("f")
+        assert lifted > baseline_timing
+        assert lifted == pytest.approx(600.0, rel=0.05)
+
+    def test_disabled_by_default(self):
+        profiler = FunctionProfiler(FaaSMemConfig(semiwarm_min_samples=5))
+        for _ in range(50):
+            profiler.record_reuse("f", 5.0)
+        profiler.record_cold_start("f")
+        assert profiler.semiwarm_start_timing("f") == pytest.approx(5.0)
+
+    def test_policy_records_cold_starts(self):
+        config = FaaSMemConfig(coldstart_aware_timing=True)
+        policy = FaaSMemPolicy(config)
+        platform = ServerlessPlatform(policy, config=PlatformConfig(seed=1))
+        platform.register_function("json", get_profile("json"))
+        platform.run_trace([(0.0, "json")])
+        assert policy.profiler.cold_start_count("json") == 1
+
+    def test_bursty_timing_later_with_extension(self):
+        """Under a cold-start-heavy trace the extension delays semi-warm,
+        reducing semi-warm-start recalls (the §8.3.2 opportunity)."""
+        from repro.traces.azure import sample_function_trace
+
+        trace = sample_function_trace("bursty", duration=2400.0, seed=5)
+
+        def run(coldstart_aware):
+            config = FaaSMemConfig(
+                coldstart_aware_timing=coldstart_aware,
+                semiwarm_min_samples=3,
+            )
+            policy = FaaSMemPolicy(config)
+            platform = ServerlessPlatform(policy, config=PlatformConfig(seed=9))
+            platform.register_function("bert", get_profile("bert"))
+            platform.run_trace((t, "bert") for t in trace.timestamps)
+            semiwarm_starts = sum(1 for r in platform.records if r.semi_warm_start)
+            return semiwarm_starts
+
+        assert run(True) <= run(False)
+
+
+class TestLinkPresets:
+    def test_cxl_is_faster_than_infiniband(self):
+        ib = Link(LinkConfig.infiniband_fdr())
+        cxl = Link(LinkConfig.cxl())
+        pages = 100_000  # ~400 MiB working-set recall
+        assert cxl.service_time(pages) < ib.service_time(pages) / 3
+
+    def test_rdma_100g_between(self):
+        ib = Link(LinkConfig.infiniband_fdr())
+        fast = Link(LinkConfig.rdma_100g())
+        pages = 100_000
+        assert fast.service_time(pages) < ib.service_time(pages)
+
+    def test_cxl_reduces_semiwarm_recall_penalty(self):
+        """FaaSMem on a CXL pool: same mechanism, smaller penalty."""
+
+        def p95_with(link_config):
+            config = PlatformConfig(seed=4, link=link_config)
+            policy = FaaSMemPolicy(reuse_priors={"bert": [2.0] * 50})
+            platform = ServerlessPlatform(policy, config=config)
+            platform.register_function("bert", get_profile("bert"))
+            # One cold start, a long idle (drains), then a reuse.
+            platform.run_trace([(0.0, "bert"), (120.0, "bert")])
+            return platform.records[1].latency
+
+        rdma = p95_with(LinkConfig.infiniband_fdr())
+        cxl = p95_with(LinkConfig.cxl())
+        assert cxl < rdma

@@ -1,0 +1,143 @@
+"""Unit tests for dispatch, scale-out and platform accounting."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.faas import FixedKeepAlive, PlatformConfig, ServerlessPlatform
+from repro.faas.keepalive import PerFunctionKeepAlive
+from repro.baselines import NoOffloadPolicy
+from repro.workloads import get_profile
+
+from tests.conftest import make_platform
+
+
+@pytest.fixture
+def platform():
+    p = make_platform()
+    p.register_function("web", get_profile("web"))
+    return p
+
+
+class TestDispatch:
+    def test_unknown_function_rejected(self, platform):
+        with pytest.raises(TraceError):
+            platform.submit("nope", 0.0)
+
+    def test_warm_container_reused(self, platform):
+        platform.submit("web", 0.0)
+        platform.submit("web", 30.0)
+        platform.engine.run(until=60.0)
+        assert platform.controller.total_containers_created == 1
+        assert platform.controller.cold_start_count == 1
+
+    def test_mru_routing(self, platform):
+        # Create two containers with a concurrent burst, then send one
+        # more request: it must go to the most recently idle container.
+        platform.submit("web", 0.0)
+        platform.submit("web", 0.01)
+        platform.submit("web", 0.02)  # queue bound 1 -> third spawns? no:
+        platform.engine.run(until=30.0)
+        containers = platform.controller.all_containers()
+        assert len(containers) >= 2
+        mru = max(containers, key=lambda c: c.idle_since)
+        platform.submit("web", 40.0)
+        platform.engine.run(until=40.01)
+        busy = [c for c in containers if c.state.value == "busy"]
+        assert busy == [mru]
+
+    def test_scale_out_beyond_queue_bound(self):
+        config = PlatformConfig(max_queue_per_container=1, seed=1)
+        platform = ServerlessPlatform(NoOffloadPolicy(), config=config)
+        platform.register_function("web", get_profile("web"))
+        # Five near-simultaneous arrivals: container 1 takes one running
+        # + one queued; the rest must trigger scale-out.
+        for index in range(5):
+            platform.submit("web", 0.001 * index)
+        platform.engine.run(until=60.0)
+        assert platform.controller.total_containers_created >= 2
+        assert len(platform.records) == 5
+
+    def test_queue_bound_coalesces(self):
+        config = PlatformConfig(max_queue_per_container=10, seed=1)
+        platform = ServerlessPlatform(NoOffloadPolicy(), config=config)
+        platform.register_function("web", get_profile("web"))
+        for index in range(5):
+            platform.submit("web", 0.001 * index)
+        platform.engine.run(until=60.0)
+        assert platform.controller.total_containers_created == 1
+
+    def test_forget_removes_container(self):
+        platform = make_platform(keep_alive_s=10.0)
+        platform.register_function("web", get_profile("web"))
+        platform.submit("web", 0.0)
+        platform.engine.run()
+        assert platform.controller.containers_of("web") == []
+
+    def test_drain_reclaims_idle(self, platform):
+        platform.submit("web", 0.0)
+        platform.engine.run(until=60.0)
+        platform.controller.drain()
+        assert platform.controller.all_containers() == []
+
+
+class TestPlatformAccounting:
+    def test_run_trace_validates_order(self, platform):
+        with pytest.raises(TraceError):
+            platform.run_trace([(5.0, "web"), (1.0, "web")])
+
+    def test_summarize_without_requests_rejected(self, platform):
+        with pytest.raises(TraceError):
+            platform.summarize()
+
+    def test_summary_counts(self, platform):
+        platform.run_trace([(0.0, "web"), (30.0, "web")])
+        summary = platform.summarize("web", "t")
+        assert summary.requests == 2
+        assert summary.cold_starts == 1
+        assert summary.memory.average_mib > 0
+
+    def test_alive_container_average(self, platform):
+        platform.run_trace([(0.0, "web")])
+        assert 0 < platform.alive_container_average <= 1.0
+
+    def test_windowed_summary_differs_from_full(self, platform):
+        platform.run_trace([(0.0, "web")])
+        # Full run includes the long post-trace keep-alive tail.
+        full = platform.summarize("web", "t")
+        windowed = platform.summarize("web", "t", window=30.0)
+        assert windowed.memory.average_mib <= full.memory.average_mib * 1.5
+
+    def test_container_history_records_requests(self, platform):
+        platform.run_trace([(0.0, "web"), (10.0, "web")])
+        assert platform.container_history[0].requests_served == 2
+
+    def test_latencies_filter_by_function(self, platform):
+        platform.register_function("json", get_profile("json"))
+        platform.run_trace([(0.0, "web"), (1.0, "json")])
+        assert platform.latencies("web").count == 1
+        assert platform.latencies().count == 2
+
+
+class TestKeepAlivePolicies:
+    def test_fixed_timeout_validation(self):
+        with pytest.raises(Exception):
+            FixedKeepAlive(timeout_s=0.0)
+
+    def test_per_function_mapping(self):
+        policy = PerFunctionKeepAlive({"web": 60.0}, default_s=600.0)
+
+        class FakeContainer:
+            class function:
+                name = "web"
+
+        assert policy.timeout_for(FakeContainer()) == 60.0
+        FakeContainer.function.name = "other"
+        assert policy.timeout_for(FakeContainer()) == 600.0
+
+    def test_platform_uses_keepalive_policy(self):
+        platform = make_platform(keep_alive_s=15.0)
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace([(0.0, "web")])
+        history = platform.container_history[0]
+        idle_start = platform.records[0].completion
+        assert history.reclaimed_at == pytest.approx(idle_start + 15.0, abs=0.2)

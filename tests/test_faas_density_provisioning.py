@@ -1,0 +1,101 @@
+"""Unit tests for density estimation and rack provisioning."""
+
+import pytest
+
+from repro.core import FaaSMemPolicy
+from repro.faas import ServerlessPlatform
+from repro.faas.density import estimate_density
+from repro.faas.provisioning import (
+    measured_local_to_remote_ratio,
+    plan_rack,
+)
+from repro.workloads import get_profile
+
+
+class TestEstimateDensity:
+    def _platform(self, priors=None):
+        platform = ServerlessPlatform(FaaSMemPolicy(reuse_priors=priors))
+        platform.register_function("web", get_profile("web"))
+        return platform
+
+    def test_no_offload_means_density_one(self):
+        from repro.baselines import NoOffloadPolicy
+
+        platform = ServerlessPlatform(NoOffloadPolicy())
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace([(0.0, "web"), (10.0, "web")])
+        report = estimate_density(platform, "web", window=60.0)
+        assert report.improvement == pytest.approx(1.0)
+        assert report.avg_offload_per_container_mib == 0.0
+
+    def test_offloading_improves_density(self):
+        platform = self._platform(priors={"web": [2.0] * 50})
+        platform.run_trace([(0.0, "web")])
+        report = estimate_density(platform, "web", window=500.0)
+        assert report.improvement > 1.2
+        assert report.quota_mib == 384.0
+
+    def test_invalid_window_rejected(self):
+        platform = self._platform()
+        platform.run_trace([(0.0, "web")])
+        with pytest.raises(ValueError):
+            estimate_density(platform, "web", window=0.0)
+
+    def test_row_keys(self):
+        platform = self._platform()
+        platform.run_trace([(0.0, "web")])
+        row = estimate_density(platform, "web", window=100.0).row()
+        assert {"function", "quota_mib", "density_x", "bandwidth_mibps"} <= set(row)
+
+
+class TestPlanRack:
+    def test_paper_defaults(self):
+        """The defaults reproduce §9's numbers: 3 TB pool, ~320 Gbps,
+        ~44 % DRAM cost reduction."""
+        plan = plan_rack()
+        assert plan.pool_gib == pytest.approx(3072.0)
+        assert plan.aggregate_bandwidth_gbps == pytest.approx(320, rel=0.15)
+        assert plan.dram_cost_reduction == pytest.approx(0.44, abs=0.05)
+
+    def test_scaling_with_ratio(self):
+        lean = plan_rack(local_to_remote_ratio=0.4)
+        assert lean.pool_gib == pytest.approx(3072.0 / 2)
+        assert lean.dram_cost_reduction < plan_rack().dram_cost_reduction
+
+    def test_zero_ratio_means_no_pool(self):
+        plan = plan_rack(local_to_remote_ratio=0.0)
+        assert plan.pool_gib == 0.0
+        assert plan.dram_cost_reduction == pytest.approx(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"compute_nodes": 0},
+            {"node_dram_gib": 0},
+            {"local_to_remote_ratio": -0.1},
+            {"pool_dram_cost_factor": 1.5},
+        ],
+    )
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            plan_rack(**kwargs)
+
+    def test_row(self):
+        row = plan_rack().row()
+        assert row["compute_nodes"] == 10
+        assert "dram_cost_reduction_pct" in row
+
+
+class TestMeasuredRatio:
+    def test_ratio_from_run(self):
+        platform = ServerlessPlatform(FaaSMemPolicy(reuse_priors={"web": [2.0] * 50}))
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace([(0.0, "web")])
+        ratio = measured_local_to_remote_ratio(platform, window=500.0)
+        assert ratio > 0.2  # substantial share parked remotely
+
+    def test_no_usage_rejected(self):
+        platform = ServerlessPlatform(FaaSMemPolicy())
+        platform.register_function("web", get_profile("web"))
+        with pytest.raises(ValueError):
+            measured_local_to_remote_ratio(platform, window=10.0)

@@ -1,0 +1,152 @@
+"""End-to-end integration tests: policies compared on shared traces,
+plus global conservation invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import DamonPolicy, NoOffloadPolicy, TmoPolicy
+from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.experiments.common import make_reuse_priors, run_benchmark_trace
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.traces.azure import sample_function_trace
+from repro.workloads import get_profile
+
+
+@pytest.fixture(scope="module")
+def shared_trace():
+    return sample_function_trace("high", duration=900.0, seed=17)
+
+
+def run(policy, benchmark, trace):
+    return run_benchmark_trace(policy, benchmark, trace)
+
+
+class TestSystemOrdering:
+    """The paper's headline comparisons, at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def results(self, shared_trace):
+        trace = shared_trace
+        priors = make_reuse_priors(trace, "web", exec_time_s=0.12)
+        return {
+            "baseline": run(NoOffloadPolicy(), "web", trace),
+            "tmo": run(TmoPolicy(), "web", trace),
+            "faasmem": run(FaaSMemPolicy(reuse_priors=priors), "web", trace),
+            "damon": run(DamonPolicy(), "web", trace),
+        }
+
+    def test_faasmem_saves_far_more_than_tmo(self, results):
+        base = results["baseline"].memory.average_mib
+        tmo_saving = 1 - results["tmo"].memory.average_mib / base
+        faasmem_saving = 1 - results["faasmem"].memory.average_mib / base
+        assert faasmem_saving > 3 * tmo_saving
+
+    def test_faasmem_p95_near_baseline(self, results):
+        ratio = results["faasmem"].latency_p95 / results["baseline"].latency_p95
+        assert ratio < 1.25
+
+    def test_damon_p95_blows_up(self, results):
+        ratio = results["damon"].latency_p95 / results["baseline"].latency_p95
+        assert ratio > 1.5
+
+    def test_baseline_never_touches_pool(self, results):
+        assert results["baseline"].offloaded_mib_total == 0.0
+
+    def test_all_serve_every_request(self, results, shared_trace):
+        for summary in results.values():
+            assert summary.requests == shared_trace.count
+
+
+class TestAblationOrdering:
+    def test_components_both_reduce_memory(self, shared_trace):
+        priors = make_reuse_priors(shared_trace, "bert", exec_time_s=0.13)
+        base = run(NoOffloadPolicy(), "bert", shared_trace).memory.average_mib
+        full = run(
+            FaaSMemPolicy(reuse_priors=priors), "bert", shared_trace
+        ).memory.average_mib
+        no_pucket = run(
+            FaaSMemPolicy(FaaSMemConfig(enable_pucket=False), reuse_priors=priors),
+            "bert",
+            shared_trace,
+        ).memory.average_mib
+        no_semiwarm = run(
+            FaaSMemPolicy(FaaSMemConfig(enable_semiwarm=False), reuse_priors=priors),
+            "bert",
+            shared_trace,
+        ).memory.average_mib
+        assert full < base
+        assert full <= no_pucket * 1.02
+        assert full <= no_semiwarm * 1.02
+        assert no_pucket < base
+        assert no_semiwarm < base
+
+
+class TestConservation:
+    """Memory accounting must balance exactly at all times."""
+
+    def _run_platform(self, policy, trace, benchmark="web"):
+        platform = ServerlessPlatform(policy, config=PlatformConfig(seed=23))
+        platform.register_function(benchmark, get_profile(benchmark))
+        platform.run_trace((t, benchmark) for t in trace.timestamps)
+        return platform
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [NoOffloadPolicy, TmoPolicy, DamonPolicy, FaaSMemPolicy],
+        ids=["baseline", "tmo", "damon", "faasmem"],
+    )
+    def test_everything_freed_after_all_reclaims(self, policy_factory, shared_trace):
+        platform = self._run_platform(policy_factory(), shared_trace)
+        assert platform.controller.all_containers() == []
+        assert platform.node.local_pages == 0
+        assert platform.pool.used_pages == 0
+
+    def test_node_plus_pool_equals_live_pages(self, shared_trace):
+        platform = ServerlessPlatform(FaaSMemPolicy(), config=PlatformConfig(seed=23))
+        platform.register_function("web", get_profile("web"))
+        for t in shared_trace.timestamps:
+            platform.submit("web", t)
+        # Check conservation at several points mid-run.
+        for checkpoint in (60.0, 300.0, 600.0, 900.0):
+            platform.engine.run(until=checkpoint)
+            live_local = sum(
+                c.cgroup.local_pages for c in platform.controller.all_containers()
+            )
+            live_remote = sum(
+                c.cgroup.remote_pages for c in platform.controller.all_containers()
+            )
+            assert platform.node.local_pages == live_local
+            assert platform.pool.used_pages == live_remote
+
+    def test_deterministic_across_runs(self, shared_trace):
+        first = self._run_platform(FaaSMemPolicy(), shared_trace)
+        second = self._run_platform(FaaSMemPolicy(), shared_trace)
+        lat_a = [r.latency for r in first.records]
+        lat_b = [r.latency for r in second.records]
+        assert lat_a == lat_b
+        assert first.node.average_pages(first.engine.now) == pytest.approx(
+            second.node.average_pages(second.engine.now)
+        )
+
+
+class TestArbitraryTraces:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=600.0), min_size=1, max_size=25
+        ),
+        st.sampled_from(["json", "web"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_faasmem_survives_any_arrival_pattern(self, raw_times, benchmark):
+        """Property: no arrival pattern can break accounting."""
+        from repro.traces.model import FunctionTrace
+
+        timestamps = sorted(raw_times)
+        trace = FunctionTrace("prop", timestamps, duration=600.0)
+        platform = ServerlessPlatform(FaaSMemPolicy(), config=PlatformConfig(seed=1))
+        platform.register_function(benchmark, get_profile(benchmark))
+        platform.run_trace((t, benchmark) for t in trace.timestamps)
+        assert len(platform.records) == len(timestamps)
+        assert platform.node.local_pages == 0
+        assert platform.pool.used_pages == 0
+        assert all(r.latency >= 0 for r in platform.records)

@@ -1,0 +1,106 @@
+"""Tests for the histogram keep-alive policy and its FaaSMem combo."""
+
+import pytest
+
+from repro.baselines import NoOffloadPolicy
+from repro.core import FaaSMemPolicy
+from repro.errors import PolicyError
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.faas.keepalive import HistogramKeepAlive
+from repro.traces.azure import sample_function_trace
+from repro.workloads import get_profile
+
+
+class _FakeContainer:
+    def __init__(self, name="f", interval=None):
+        self.last_reuse_interval = interval
+
+        class function:
+            pass
+
+        self.function = function()
+        self.function.name = name
+
+
+class TestHistogramKeepAlive:
+    def test_default_until_enough_samples(self):
+        policy = HistogramKeepAlive(min_samples=5, default_s=600.0)
+        for _ in range(4):
+            policy.observe("f", 10.0)
+        assert policy.timeout_for(_FakeContainer("f")) == 600.0
+
+    def test_percentile_with_margin(self):
+        policy = HistogramKeepAlive(
+            percentile=100.0, margin=1.2, min_samples=5, min_s=1.0
+        )
+        for _ in range(10):
+            policy.observe("f", 100.0)
+        assert policy.timeout_for(_FakeContainer("f")) == pytest.approx(120.0)
+
+    def test_clamped_to_bounds(self):
+        policy = HistogramKeepAlive(min_samples=1, min_s=60.0, max_s=600.0)
+        policy.observe("fast", 1.0)
+        assert policy.timeout_for(_FakeContainer("fast")) == 60.0
+        policy.observe("slow", 10_000.0)
+        assert policy.timeout_for(_FakeContainer("slow")) == 600.0
+
+    def test_container_intervals_feed_histogram(self):
+        policy = HistogramKeepAlive(min_samples=2, default_s=500.0)
+        container = _FakeContainer("f", interval=30.0)
+        policy.timeout_for(container)
+        policy.timeout_for(container)
+        assert len(policy._intervals["f"]) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"percentile": 0},
+            {"margin": 0.5},
+            {"min_s": 0},
+            {"min_s": 100, "max_s": 50},
+            {"min_samples": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(PolicyError):
+            HistogramKeepAlive(**kwargs)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(PolicyError):
+            HistogramKeepAlive().observe("f", -1.0)
+
+
+class TestCombinedWithFaaSMem:
+    def _run(self, keep_alive, policy):
+        platform = ServerlessPlatform(
+            policy, config=PlatformConfig(seed=6), keep_alive=keep_alive
+        )
+        platform.register_function("json", get_profile("json"))
+        trace = sample_function_trace("middle", duration=1800.0, seed=6)
+        platform.run_trace((t, "json") for t in trace.timestamps)
+        return platform.summarize("json", "t", window=1800.0)
+
+    def test_histogram_plus_faasmem_saves_most(self):
+        """The paper's related-work point: adaptive keep-alive and
+        memory pooling stack."""
+        from repro.faas.keepalive import FixedKeepAlive
+
+        fixed_baseline = self._run(FixedKeepAlive(600.0), NoOffloadPolicy())
+        adaptive_baseline = self._run(
+            HistogramKeepAlive(min_samples=5), NoOffloadPolicy()
+        )
+        combined = self._run(
+            HistogramKeepAlive(min_samples=5),
+            FaaSMemPolicy(reuse_priors={"json": [15.0] * 50}),
+        )
+        assert adaptive_baseline.memory.average_mib <= fixed_baseline.memory.average_mib
+        assert combined.memory.average_mib < adaptive_baseline.memory.average_mib
+
+    def test_adaptive_keepalive_may_cost_cold_starts(self):
+        from repro.faas.keepalive import FixedKeepAlive
+
+        fixed = self._run(FixedKeepAlive(600.0), NoOffloadPolicy())
+        adaptive = self._run(
+            HistogramKeepAlive(min_samples=5, min_s=30.0), NoOffloadPolicy()
+        )
+        assert adaptive.cold_starts >= fixed.cold_starts

@@ -1,0 +1,75 @@
+"""Tests for the population->benchmark mapper and the node experiment."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.azure import AzureTraceConfig, generate_azure_like
+from repro.traces.mapper import Binding, binding_table, map_population, merged_events
+from repro.workloads import application_names, micro_benchmark_names
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_azure_like(
+        AzureTraceConfig(n_functions=50, duration=3600.0, seed=5)
+    )
+
+
+class TestMapPopulation:
+    def test_every_nonempty_function_bound(self, population):
+        bindings = map_population(population)
+        nonempty = sum(1 for t in population if t.count >= 1)
+        assert len(bindings) == nonempty
+
+    def test_top_volume_functions_get_applications(self, population):
+        bindings = map_population(population, application_share=0.3)
+        ranked = sorted(bindings, key=lambda b: -b.invocations)
+        n_apps = int(round(0.3 * len(bindings)))
+        apps = set(application_names())
+        for binding in ranked[:n_apps]:
+            assert binding.benchmark in apps
+
+    def test_tail_gets_micros_round_robin(self, population):
+        bindings = map_population(population, application_share=0.0)
+        micros = set(micro_benchmark_names())
+        assert all(b.benchmark in micros for b in bindings)
+        table = binding_table(bindings)
+        counts = list(table.values())
+        assert max(counts) - min(counts) <= 1  # even round-robin
+
+    def test_max_functions_caps_by_volume(self, population):
+        bindings = map_population(population, max_functions=5)
+        assert len(bindings) == 5
+        volumes = [b.invocations for b in bindings]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_min_invocations_filters(self, population):
+        bindings = map_population(population, min_invocations=100)
+        assert all(b.invocations >= 100 for b in bindings)
+
+    def test_invalid_share_rejected(self, population):
+        with pytest.raises(TraceError):
+            map_population(population, application_share=1.5)
+
+    def test_empty_population_rejected(self, population):
+        with pytest.raises(TraceError):
+            map_population(population, min_invocations=10**9)
+
+    def test_merged_events_sorted_and_complete(self, population):
+        bindings = map_population(population, max_functions=10)
+        events = merged_events(population, bindings)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert len(events) == sum(b.invocations for b in bindings)
+
+
+class TestNodeExperiment:
+    def test_node_level_ordering(self):
+        from repro.experiments.node_mixed import run
+
+        result = run(n_functions=30, duration=900.0, max_functions=15)
+        rows = {row["system"]: row for row in result.rows}
+        assert rows["faasmem"]["mem_saving_pct"] > rows["tmo"]["mem_saving_pct"]
+        assert rows["faasmem"]["requests"] == rows["baseline"]["requests"]
+        # Node-level saving sits inside Fig. 12's per-benchmark span.
+        assert 10 <= rows["faasmem"]["mem_saving_pct"] <= 90

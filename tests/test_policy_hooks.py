@@ -1,0 +1,104 @@
+"""Contract tests for the OffloadPolicy hook sequence."""
+
+import pytest
+
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.faas.policy import OffloadPolicy
+from repro.workloads import get_profile
+
+
+class SpyPolicy(OffloadPolicy):
+    """Records every hook invocation in order."""
+
+    name = "spy"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def on_container_created(self, container):
+        self.calls.append(("created", container.container_id))
+
+    def on_runtime_loaded(self, container):
+        self.calls.append(("runtime_loaded", container.container_id))
+
+    def on_init_complete(self, container):
+        self.calls.append(("init_complete", container.container_id))
+
+    def on_request_start(self, container):
+        self.calls.append(("request_start", container.container_id))
+
+    def on_region_touched(self, container, region, was_remote=False):
+        self.calls.append(("touched", region.segment.value))
+
+    def on_request_complete(self, container, record):
+        self.calls.append(("request_complete", record.invocation_id))
+
+    def on_container_idle(self, container):
+        self.calls.append(("idle", container.container_id))
+
+    def on_container_reclaimed(self, container):
+        self.calls.append(("reclaimed", container.container_id))
+
+
+@pytest.fixture
+def run():
+    def _run(trace, keep_alive_s=30.0):
+        spy = SpyPolicy()
+        platform = ServerlessPlatform(
+            spy, config=PlatformConfig(seed=1, keep_alive_s=keep_alive_s)
+        )
+        platform.register_function("json", get_profile("json"))
+        platform.run_trace(trace)
+        return spy
+
+    return _run
+
+
+class TestHookOrdering:
+    def test_lifecycle_order_single_request(self, run):
+        spy = run([(0.0, "json")])
+        kinds = [kind for kind, _ in spy.calls]
+        for earlier, later in (
+            ("created", "runtime_loaded"),
+            ("runtime_loaded", "init_complete"),
+            ("init_complete", "request_start"),
+            ("request_start", "request_complete"),
+            ("request_complete", "idle"),
+            ("idle", "reclaimed"),
+        ):
+            assert kinds.index(earlier) < kinds.index(later)
+
+    def test_touches_between_start_and_complete(self, run):
+        spy = run([(0.0, "json")])
+        kinds = [kind for kind, _ in spy.calls]
+        start = kinds.index("request_start")
+        complete = kinds.index("request_complete")
+        touch_positions = [i for i, kind in enumerate(kinds) if kind == "touched"]
+        request_touches = [i for i in touch_positions if start < i < complete]
+        assert request_touches  # requests do touch memory
+
+    def test_runtime_and_init_touched_per_request(self, run):
+        spy = run([(0.0, "json")])
+        segments = {seg for kind, seg in spy.calls if kind == "touched"}
+        assert "runtime" in segments
+        assert "init" in segments
+
+    def test_one_idle_per_completed_queue(self, run):
+        spy = run([(0.0, "json"), (5.0, "json")])
+        kinds = [kind for kind, _ in spy.calls]
+        assert kinds.count("request_complete") == 2
+        assert kinds.count("idle") == 2  # idle after each drain
+
+    def test_every_created_container_reclaimed(self, run):
+        spy = run([(0.0, "json"), (0.01, "json"), (0.02, "json")])
+        created = [cid for kind, cid in spy.calls if kind == "created"]
+        reclaimed = [cid for kind, cid in spy.calls if kind == "reclaimed"]
+        assert sorted(created) == sorted(reclaimed)
+
+    def test_exec_segment_never_reported(self, run):
+        # Exec scratch is allocated after the touch loop and freed at
+        # completion; the policy never sees it as a touch.
+        spy = run([(0.0, "json")])
+        segments = [seg for kind, seg in spy.calls if kind == "touched"]
+        assert "exec" not in segments

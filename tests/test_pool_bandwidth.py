@@ -1,0 +1,62 @@
+"""Unit tests for the global bandwidth monitor."""
+
+import pytest
+
+from repro.pool.bandwidth import BandwidthMonitor, BandwidthMonitorConfig
+from repro.pool.link import Link, LinkConfig, LinkDirection
+from repro.units import PAGE_SIZE
+
+
+def saturating_link(bandwidth=1e6):
+    """A tiny link so tests can saturate it cheaply."""
+    return Link(LinkConfig(bandwidth_bytes_per_s=bandwidth, per_page_overhead_s=0.0, base_latency_s=0.0))
+
+
+class TestOccupancy:
+    def test_idle_link_has_zero_occupancy(self):
+        monitor = BandwidthMonitor(Link())
+        assert monitor.occupancy(now=10.0) == 0.0
+
+    def test_occupancy_reflects_recent_transfers(self):
+        link = saturating_link()
+        monitor = BandwidthMonitor(link, BandwidthMonitorConfig(window_s=1.0))
+        # Move ~1 second worth of data completing within the window.
+        pages = int(1e6 / PAGE_SIZE)
+        link.transfer(0.0, pages, LinkDirection.OUT)
+        occupancy = monitor.occupancy(now=1.05)
+        assert occupancy > 0.8
+
+    def test_occupancy_clamped_to_one(self):
+        link = saturating_link()
+        monitor = BandwidthMonitor(link, BandwidthMonitorConfig(window_s=1.0))
+        pages = int(5e6 / PAGE_SIZE)
+        link.transfer(0.0, pages, LinkDirection.OUT)
+        assert monitor.occupancy(now=5.0) <= 1.0
+
+    def test_zero_window_start(self):
+        monitor = BandwidthMonitor(Link())
+        assert monitor.occupancy(now=0.0) == 0.0
+
+
+class TestThrottle:
+    def test_no_throttle_below_watermark(self):
+        monitor = BandwidthMonitor(Link())
+        assert monitor.throttle_factor(now=100.0) == 1.0
+
+    def test_throttle_above_watermark(self):
+        link = saturating_link()
+        config = BandwidthMonitorConfig(window_s=1.0, high_watermark=0.5, min_factor=0.1)
+        monitor = BandwidthMonitor(link, config)
+        pages = int(1e6 / PAGE_SIZE)
+        link.transfer(0.0, pages, LinkDirection.OUT)
+        factor = monitor.throttle_factor(now=1.05)
+        assert 0.1 <= factor < 1.0
+
+    def test_throttle_never_below_min_factor(self):
+        link = saturating_link()
+        config = BandwidthMonitorConfig(window_s=1.0, high_watermark=0.1, min_factor=0.25)
+        monitor = BandwidthMonitor(link, config)
+        pages = int(3e6 / PAGE_SIZE)
+        link.transfer(0.0, pages, LinkDirection.OUT)
+        for t in (1.0, 2.0, 3.0):
+            assert monitor.throttle_factor(now=t) >= 0.25

@@ -1,0 +1,148 @@
+"""Unit tests for the remote pool and the Fastswap datapath."""
+
+import pytest
+
+from repro.errors import CapacityError, MemoryError_
+from repro.mem.page import Segment
+from repro.pool.fastswap import Fastswap, FastswapConfig
+from repro.pool.remote_pool import RemotePool
+
+
+class TestRemotePool:
+    def test_store_and_release(self, pool):
+        pool.store(100)
+        assert pool.used_pages == 100
+        pool.release(60)
+        assert pool.used_pages == 40
+
+    def test_capacity_enforced(self, engine):
+        pool = RemotePool(clock=lambda: engine.now, capacity_mib=1)
+        with pytest.raises(CapacityError):
+            pool.store(pool.capacity_pages + 1)
+
+    def test_release_more_than_stored_rejected(self, pool):
+        pool.store(5)
+        with pytest.raises(ValueError):
+            pool.release(6)
+
+    def test_negative_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.store(-1)
+
+    def test_average_usage(self, engine, pool):
+        pool.store(100)
+        engine.run(until=10.0)
+        assert pool.average_pages(10.0) == pytest.approx(100.0)
+
+
+class TestOffload:
+    def test_offload_moves_region_remote(self, engine, cgroup, fastswap):
+        fastswap.attach(cgroup)
+        r = cgroup.allocate("a", Segment.INIT, 256)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        assert r.is_remote
+        assert fastswap.pool.used_pages == 256
+        assert fastswap.stats.offloaded_pages == 256
+
+    def test_offload_is_asynchronous(self, engine, cgroup, fastswap):
+        r = cgroup.allocate("a", Segment.INIT, 256)
+        fastswap.offload(cgroup, [r])
+        assert r.is_local  # not yet written out
+        engine.run()
+        assert r.is_remote
+
+    def test_touch_aborts_inflight_offload(self, engine, cgroup, fastswap):
+        r = cgroup.allocate("a", Segment.INIT, 256)
+        fastswap.offload(cgroup, [r])
+        cgroup.touch(r)  # re-dirtied before write-out completes
+        engine.run()
+        assert r.is_local
+        assert fastswap.stats.aborted_offloads == 1
+        assert fastswap.pool.used_pages == 0
+
+    def test_freed_region_offload_aborts(self, engine, cgroup, fastswap):
+        r = cgroup.allocate("a", Segment.EXEC, 256)
+        fastswap.offload(cgroup, [r])
+        cgroup.free(r)
+        engine.run()
+        assert fastswap.stats.offloaded_pages == 0
+        assert fastswap.pool.used_pages == 0
+
+    def test_remote_region_skipped(self, engine, cgroup, fastswap):
+        r = cgroup.allocate("a", Segment.INIT, 16)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        fastswap.offload(cgroup, [r])  # second call is a no-op
+        engine.run()
+        assert fastswap.stats.offloaded_pages == 16
+
+    def test_per_cgroup_attribution(self, engine, cgroup, fastswap):
+        r = cgroup.allocate("a", Segment.INIT, 64)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        assert fastswap.offloaded_pages_of(cgroup.name) == 64
+        assert fastswap.offloaded_pages_of("nobody") == 0
+
+
+class TestFault:
+    def _offloaded_region(self, engine, cgroup, fastswap, pages=256):
+        r = cgroup.allocate("a", Segment.INIT, pages)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        assert r.is_remote
+        return r
+
+    def test_fault_brings_region_back(self, engine, cgroup, fastswap):
+        r = self._offloaded_region(engine, cgroup, fastswap)
+        stall = fastswap.fault(cgroup, [r])
+        assert r.is_local
+        assert stall > 0
+        assert fastswap.pool.used_pages == 0
+        assert fastswap.stats.recalled_pages == 256
+
+    def test_fault_local_region_is_free(self, cgroup, fastswap):
+        r = cgroup.allocate("a", Segment.INIT, 16)
+        assert fastswap.fault(cgroup, [r]) == 0.0
+
+    def test_fault_cpu_share_scales_stall(self, engine, cgroup, fastswap):
+        r = self._offloaded_region(engine, cgroup, fastswap)
+        full = fastswap.fault(cgroup, [r])
+        fastswap.offload(cgroup, [r])
+        # Leave the access count untouched so the offload completes.
+        engine.run()
+        throttled = fastswap.fault(cgroup, [r], cpu_share=0.1)
+        # CPU component is 10x; wire time is similar.
+        assert throttled > full
+
+    def test_fault_freed_rejected(self, engine, cgroup, fastswap):
+        r = self._offloaded_region(engine, cgroup, fastswap)
+        fastswap.attach(cgroup)
+        cgroup.free(r)
+        with pytest.raises(MemoryError_):
+            fastswap.fault(cgroup, [r])
+
+    def test_invalid_cpu_share_rejected(self, cgroup, fastswap):
+        with pytest.raises(MemoryError_):
+            fastswap.fault(cgroup, [], cpu_share=0.0)
+
+    def test_fault_cpu_cost_model(self, engine, cgroup, fastswap):
+        config = FastswapConfig(fault_cpu_per_page_s=1e-5)
+        swap = Fastswap(engine, fastswap.link, fastswap.pool, config)
+        r = cgroup.allocate("a", Segment.INIT, 100)
+        swap.offload(cgroup, [r])
+        engine.run()
+        stall = swap.fault(cgroup, [r], cpu_share=0.5)
+        # CPU part alone: 100 pages * 1e-5 / 0.5 = 2 ms.
+        assert stall >= 100 * 1e-5 / 0.5
+
+
+class TestAttachment:
+    def test_freeing_remote_region_releases_pool(self, engine, cgroup, fastswap):
+        fastswap.attach(cgroup)
+        r = cgroup.allocate("a", Segment.INIT, 128)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        assert fastswap.pool.used_pages == 128
+        cgroup.free(r)
+        assert fastswap.pool.used_pages == 0

@@ -1,0 +1,77 @@
+"""Statistical checks on the synthetic Azure-like population."""
+
+import numpy as np
+import pytest
+
+from repro.traces.azure import AzureTraceConfig, generate_azure_like
+from repro.traces.analysis import classify_load
+from repro.units import DAY, HOUR, MINUTE
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_azure_like(AzureTraceConfig(duration=DAY, seed=2021))
+
+
+class TestPopulationShape:
+    def test_periodic_functions_have_regular_gaps(self, population):
+        """A noticeable share of functions is timer-triggered: their
+        inter-arrival CV is tiny."""
+        regular = 0
+        eligible = 0
+        for trace in population:
+            gaps = trace.inter_arrival_times
+            if gaps.size < 10:
+                continue
+            eligible += 1
+            if np.std(gaps) / max(np.mean(gaps), 1e-9) < 0.2:
+                regular += 1
+        assert eligible > 0
+        assert regular / eligible > 0.1
+
+    def test_high_rate_surge_functions_have_keepalive_sized_gaps(self, population):
+        """The surge-driven high-load functions leave quiet gaps
+        beyond the 10-minute keep-alive."""
+        found = 0
+        for trace in population:
+            if classify_load(trace.rate_per_day) != "high":
+                continue
+            gaps = trace.inter_arrival_times
+            if gaps.size > 20 and gaps.max() > 12 * MINUTE:
+                found += 1
+        assert found >= 5
+
+    def test_volume_dominated_by_head(self, population):
+        counts = sorted((trace.count for trace in population), reverse=True)
+        top10 = sum(counts[:10])
+        assert top10 / max(sum(counts), 1) > 0.5
+
+    def test_most_functions_sparse(self, population):
+        rates = [trace.rate_per_day for trace in population]
+        assert np.median(rates) < 100
+
+    def test_invocations_in_plausible_range(self, population):
+        # The real trace: ~2M invocations over 14 days ~= 140k/day.
+        # The synthetic population is the same order of magnitude.
+        assert 5e4 <= population.total_invocations <= 2e6
+
+    def test_every_timestamp_within_duration(self, population):
+        for trace in population:
+            assert all(0 <= t <= trace.duration for t in trace.timestamps)
+
+
+class TestScaling:
+    def test_longer_duration_scales_counts(self):
+        short = generate_azure_like(
+            AzureTraceConfig(n_functions=60, duration=6 * HOUR, seed=3)
+        )
+        long = generate_azure_like(
+            AzureTraceConfig(n_functions=60, duration=24 * HOUR, seed=3)
+        )
+        ratio = long.total_invocations / max(short.total_invocations, 1)
+        assert 2.0 <= ratio <= 8.0  # ~4x expected
+
+    def test_seed_changes_population(self):
+        a = generate_azure_like(AzureTraceConfig(n_functions=30, duration=HOUR, seed=1))
+        b = generate_azure_like(AzureTraceConfig(n_functions=30, duration=HOUR, seed=2))
+        assert a.total_invocations != b.total_invocations

@@ -1,0 +1,134 @@
+"""Tests for latency decomposition, per-function summaries and
+memory-pressure eviction."""
+
+import pytest
+
+from repro.baselines import NoOffloadPolicy
+from repro.core import FaaSMemPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.workloads import get_profile
+
+
+class TestLatencyBreakdown:
+    def _platform(self):
+        platform = ServerlessPlatform(
+            FaaSMemPolicy(reuse_priors={"json": [2.0] * 50}),
+            config=PlatformConfig(seed=4),
+        )
+        platform.register_function("json", get_profile("json"))
+        platform.run_trace([(0.0, "json"), (120.0, "json")])
+        return platform
+
+    def test_components_sum_to_latency(self):
+        platform = self._platform()
+        for record in platform.records:
+            parts = record.breakdown()
+            assert sum(parts.values()) == pytest.approx(record.latency, abs=1e-9)
+
+    def test_cold_start_dominates_first_request(self):
+        platform = self._platform()
+        first = platform.records[0]
+        assert first.queue_wait >= get_profile("json").cold_start_s * 0.99
+
+    def test_semiwarm_start_has_fault_stall(self):
+        platform = self._platform()
+        reuse = platform.records[1]
+        assert reuse.fault_stall_s > 0
+        assert reuse.exec_time > 0
+
+    def test_platform_breakdown_means(self):
+        platform = self._platform()
+        breakdown = platform.latency_breakdown()
+        assert breakdown["total_s"] == pytest.approx(
+            breakdown["queue_wait_s"] + breakdown["fault_stall_s"] + breakdown["exec_s"],
+            abs=1e-9,
+        )
+
+    def test_breakdown_without_records_rejected(self):
+        platform = ServerlessPlatform(NoOffloadPolicy())
+        platform.register_function("json", get_profile("json"))
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            platform.latency_breakdown()
+
+
+class TestPerFunctionSummaries:
+    def test_split_by_function(self):
+        platform = ServerlessPlatform(NoOffloadPolicy(), config=PlatformConfig(seed=1))
+        platform.register_function("json", get_profile("json"))
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace([(0.0, "json"), (1.0, "web"), (30.0, "web")])
+        summaries = platform.summarize_by_function(trace="t", window=60.0)
+        assert set(summaries) == {"json", "web"}
+        assert summaries["web"].requests == 2
+        assert summaries["json"].requests == 1
+
+    def test_functions_without_requests_omitted(self):
+        platform = ServerlessPlatform(NoOffloadPolicy())
+        platform.register_function("json", get_profile("json"))
+        platform.register_function("web", get_profile("web"))
+        platform.run_trace([(0.0, "json")])
+        assert set(platform.summarize_by_function()) == {"json"}
+
+
+class TestPressureEviction:
+    def _tight_platform(self, evict, capacity_mib=1500.0):
+        platform = ServerlessPlatform(
+            NoOffloadPolicy(),
+            config=PlatformConfig(
+                seed=5,
+                node_capacity_mib=capacity_mib,
+                evict_on_pressure=evict,
+                max_queue_per_container=0,
+            ),
+        )
+        platform.register_function("web", get_profile("web"))
+        platform.register_function("bert", get_profile("bert"))
+        return platform
+
+    def test_eviction_frees_idle_containers(self):
+        # 1500 MiB node: an idle web container (~320 MiB resident)
+        # must be evicted before bert's 1280 MiB quota fits.
+        platform = self._tight_platform(evict=True)
+        platform.submit("web", 0.0)
+        platform.engine.run(until=30.0)  # web container idle
+        web = platform.controller.all_containers()[0]
+        platform.submit("bert", 30.0)
+        platform.engine.run(until=60.0)
+        assert platform.controller.pressure_evictions == 1
+        assert not web.alive
+
+    def test_no_eviction_when_disabled(self):
+        platform = self._tight_platform(evict=False)
+        platform.submit("web", 0.0)
+        platform.engine.run(until=30.0)
+        platform.submit("bert", 30.0)
+        platform.engine.run(until=60.0)
+        assert platform.controller.pressure_evictions == 0
+        assert len(platform.controller.all_containers()) == 2
+
+    def test_busy_containers_never_evicted(self):
+        platform = self._tight_platform(evict=True)
+        # The web container is BUSY when bert arrives: nothing is
+        # evictable, so the platform overcommits rather than kill work.
+        platform.submit("web", 0.0)
+        web_start = get_profile("web").cold_start_s
+        platform.submit("web", web_start + 0.5)
+        platform.submit("bert", web_start + 0.55)  # web busy right now
+        platform.engine.run(until=60.0)
+        assert len(platform.records) == 3
+        # The busy web container survived to serve its request.
+        assert sum(1 for r in platform.records if r.function == "web") == 2
+
+    def test_evicted_function_cold_starts_later(self):
+        platform = self._tight_platform(evict=True)
+        platform.submit("web", 0.0)
+        platform.engine.run(until=30.0)
+        platform.submit("bert", 30.0)
+        platform.engine.run(until=90.0)
+        platform.submit("web", 100.0)
+        platform.engine.run(until=200.0)
+        web_records = [r for r in platform.records if r.function == "web"]
+        assert len(web_records) == 2
+        assert web_records[1].cold_start  # its container was evicted

@@ -1,0 +1,101 @@
+"""Tests for histogram-driven prewarming."""
+
+import pytest
+
+from repro.baselines import NoOffloadPolicy
+from repro.core import FaaSMemPolicy
+from repro.errors import PolicyError
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.faas.prewarm import Prewarmer
+from repro.workloads import get_profile
+
+
+def build(keep_alive_s=40.0, policy=None, **prewarm_kwargs):
+    platform = ServerlessPlatform(
+        policy or NoOffloadPolicy(),
+        config=PlatformConfig(seed=9, keep_alive_s=keep_alive_s),
+    )
+    platform.register_function("json", get_profile("json"))
+    prewarmer = Prewarmer(platform, **prewarm_kwargs)
+    return platform, prewarmer
+
+
+def periodic_trace(interval=60.0, count=12):
+    return [(interval * (i + 1), "json") for i in range(count)]
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"head_percentile": 0},
+            {"head_percentile": 101},
+            {"min_samples": 1},
+            {"max_outstanding": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        platform = ServerlessPlatform(NoOffloadPolicy())
+        with pytest.raises(PolicyError):
+            Prewarmer(platform, **kwargs)
+
+
+class TestPrewarming:
+    def test_periodic_function_gets_prewarmed(self):
+        # Keep-alive 40 s, invocations every 60 s: without prewarming
+        # every request is a cold start.
+        platform, prewarmer = build(keep_alive_s=40.0, min_samples=4)
+        platform.run_trace(periodic_trace())
+        assert prewarmer.prewarms_issued > 0
+
+    def test_prewarming_cuts_cold_starts(self):
+        cold_platform = ServerlessPlatform(
+            NoOffloadPolicy(), config=PlatformConfig(seed=9, keep_alive_s=40.0)
+        )
+        cold_platform.register_function("json", get_profile("json"))
+        cold_platform.run_trace(periodic_trace())
+        without = sum(1 for r in cold_platform.records if r.cold_start)
+
+        platform, _ = build(keep_alive_s=40.0, min_samples=4)
+        platform.run_trace(periodic_trace())
+        with_prewarm = sum(1 for r in platform.records if r.cold_start)
+        assert with_prewarm < without
+
+    def test_prewarming_cuts_tail_latency(self):
+        cold_platform = ServerlessPlatform(
+            NoOffloadPolicy(), config=PlatformConfig(seed=9, keep_alive_s=40.0)
+        )
+        cold_platform.register_function("json", get_profile("json"))
+        cold_platform.run_trace(periodic_trace())
+
+        platform, _ = build(keep_alive_s=40.0, min_samples=4)
+        platform.run_trace(periodic_trace())
+        assert (
+            platform.latencies().p95 < cold_platform.latencies().p95
+        )
+
+    def test_no_prewarm_without_history(self):
+        platform, prewarmer = build(min_samples=100)
+        platform.run_trace(periodic_trace(count=6))
+        assert prewarmer.prewarms_issued == 0
+
+    def test_outstanding_cap_respected(self):
+        platform, prewarmer = build(min_samples=4, max_outstanding=1)
+        platform.run_trace(periodic_trace(interval=10.0, count=20))
+        # Warm container alive the whole time -> no prewarm storms.
+        assert prewarmer.prewarms_issued <= 2
+
+    def test_combines_with_faasmem(self):
+        policy = FaaSMemPolicy(reuse_priors={"json": [50.0] * 50})
+        platform, prewarmer = build(keep_alive_s=40.0, policy=policy, min_samples=4)
+        platform.run_trace(periodic_trace())
+        assert len(platform.records) == 12
+        assert platform.node.local_pages == 0  # clean teardown
+
+    def test_detach_cancels_timers(self):
+        platform, prewarmer = build(min_samples=4)
+        for t, fn in periodic_trace(count=8):
+            platform.submit(fn, t)
+        platform.engine.run(until=500.0)
+        prewarmer.detach()
+        platform.engine.run()  # must drain without new prewarms

@@ -1,0 +1,67 @@
+"""Regression tests for region-family semantics under splitting.
+
+Gradual offloaders split regions into slices; a request that touches a
+buffer semantically touches every live slice. A historical bug let
+split-off siblings stay remote forever because only the head region
+was in the working set — these tests pin the fix.
+"""
+
+import pytest
+
+from repro.core import FaaSMemPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.mem.page import Segment
+from repro.workloads import get_profile
+
+
+def drained_container(benchmark="json", drain_for=30.0):
+    """A container whose semi-warm drain has split + offloaded regions."""
+    policy = FaaSMemPolicy(reuse_priors={benchmark: [2.0] * 50})
+    platform = ServerlessPlatform(policy, config=PlatformConfig(seed=6))
+    platform.register_function(benchmark, get_profile(benchmark))
+    platform.submit(benchmark, 0.0)
+    profile = get_profile(benchmark)
+    idle_start = profile.cold_start_s + 3 * profile.exec_time_s
+    platform.engine.run(until=idle_start + 2.0 + drain_for)
+    container = platform.controller.all_containers()[0]
+    return platform, container
+
+
+class TestFamilyExpansion:
+    def test_drain_splits_regions(self):
+        platform, container = drained_container()
+        names = {}
+        for region in container.cgroup.space.regions():
+            names.setdefault((region.name, region.segment), []).append(region)
+        split_families = [regions for regions in names.values() if len(regions) > 1]
+        assert split_families  # the 1 MiB/s drain did split something
+
+    def test_request_recalls_whole_family(self):
+        platform, container = drained_container()
+        # The runtime hot core has been sliced and partially offloaded;
+        # the next request must bring back ALL slices.
+        platform.submit("json", platform.engine.now + 1.0)
+        platform.engine.run(until=platform.engine.now + 10.0)
+        hot_family = container.cgroup.space.find("runtime/hot", Segment.RUNTIME)
+        assert hot_family
+        assert all(region.is_local for region in hot_family)
+
+    def test_family_pages_conserved_through_split_and_recall(self):
+        platform, container = drained_container()
+        from repro.units import pages_from_mib
+
+        expected = pages_from_mib(get_profile("json").runtime.hot_mib)
+        family = container.cgroup.space.find("runtime/hot", Segment.RUNTIME)
+        assert sum(region.pages for region in family) == expected
+        platform.submit("json", platform.engine.now + 1.0)
+        platform.engine.run(until=platform.engine.now + 10.0)
+        family = container.cgroup.space.find("runtime/hot", Segment.RUNTIME)
+        assert sum(region.pages for region in family) == expected
+
+    def test_heartbeat_keeps_whole_hot_family_local(self):
+        platform, container = drained_container(drain_for=120.0)
+        # Heartbeats ran during/after the drain: the proxy core family
+        # must be fully resident again.
+        platform.engine.run(until=platform.engine.now + 60.0)
+        hot_family = container.cgroup.space.find("runtime/hot", Segment.RUNTIME)
+        assert all(region.is_local for region in hot_family)

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_schedule_runs_at_time(self, engine):
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [5.0]
+
+    def test_schedule_at_absolute(self, engine):
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_events_run_in_time_order(self, engine):
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self, engine):
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_callback_can_schedule_more(self, engine):
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                engine.schedule(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_any_delays_execute_sorted(self, delays):
+        engine = Engine()
+        seen = []
+        for delay in delays:
+            engine.schedule(delay, lambda d=delay: seen.append(engine.now))
+        engine.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        engine.run()
+
+    def test_clear_drops_everything(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.clear()
+        engine.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_when_idle(self, engine):
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+    def test_max_events_guard(self, engine):
+        def forever():
+            engine.schedule(0.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_step_returns_event_and_none_when_drained(self, engine):
+        engine.schedule(1.0, lambda: None, name="only")
+        event = engine.step()
+        assert event is not None and event.name == "only"
+        assert engine.step() is None
+
+    def test_events_processed_counter(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_clock_never_goes_backwards(self, engine):
+        times = []
+        for d in (5.0, 1.0, 3.0):
+            engine.schedule(d, lambda: times.append(engine.now))
+        engine.run()
+        assert times == sorted(times)

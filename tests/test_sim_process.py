@@ -1,0 +1,97 @@
+"""Unit tests for timers and periodic tasks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import PeriodicTask, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self, engine):
+        fired = []
+        timer = Timer(engine, lambda: fired.append(engine.now))
+        timer.start(10.0)
+        engine.run()
+        assert fired == [10.0]
+
+    def test_restart_extends_deadline(self, engine):
+        fired = []
+        timer = Timer(engine, lambda: fired.append(engine.now))
+        timer.start(10.0)
+        engine.schedule(5.0, lambda: timer.start(10.0))
+        engine.run()
+        assert fired == [15.0]
+
+    def test_cancel_prevents_firing(self, engine):
+        fired = []
+        timer = Timer(engine, lambda: fired.append(1))
+        timer.start(10.0)
+        timer.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_armed_and_deadline(self, engine):
+        timer = Timer(engine, lambda: None)
+        assert not timer.armed
+        assert timer.deadline is None
+        timer.start(7.0)
+        assert timer.armed
+        assert timer.deadline == 7.0
+        engine.run()
+        assert not timer.armed
+
+    def test_cancel_unarmed_is_noop(self, engine):
+        Timer(engine, lambda: None).cancel()
+
+
+class TestPeriodicTask:
+    def test_ticks_at_interval(self, engine):
+        ticks = []
+        task = PeriodicTask(engine, 2.0, lambda: ticks.append(engine.now))
+        engine.run(until=7.0)
+        task.stop()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_stop_ends_series(self, engine):
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(engine.now))
+        engine.schedule(3.5, task.stop)
+        engine.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_callback_may_stop_itself(self, engine):
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: (ticks.append(1), task.stop()))
+        engine.run()
+        assert ticks == [1]
+
+    def test_start_delay_overrides_first_tick(self, engine):
+        ticks = []
+        task = PeriodicTask(
+            engine, 5.0, lambda: ticks.append(engine.now), start_delay=0.0
+        )
+        engine.run(until=11.0)
+        task.stop()
+        assert ticks == [0.0, 5.0, 10.0]
+
+    def test_interval_change_applies_next_tick(self, engine):
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(engine.now))
+
+        def widen():
+            task.interval = 3.0
+
+        engine.schedule(1.5, widen)
+        engine.run(until=8.0)
+        task.stop()
+        assert ticks == [1.0, 2.0, 5.0, 8.0]
+
+    def test_nonpositive_interval_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            PeriodicTask(engine, 0.0, lambda: None)
+
+    def test_running_property(self, engine):
+        task = PeriodicTask(engine, 1.0, lambda: None)
+        assert task.running
+        task.stop()
+        assert not task.running

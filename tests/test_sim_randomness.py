@@ -1,0 +1,55 @@
+"""Unit tests for seeded random streams."""
+
+from repro.sim.randomness import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=5).get("x").integers(0, 1000, 10)
+        b = RandomStreams(seed=5).get("x").integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(seed=5)
+        a = streams.get("alpha").integers(0, 10**9, 10)
+        b = streams.get("beta").integers(0, 10**9, 10)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).get("x").integers(0, 10**9, 10)
+        b = RandomStreams(seed=2).get("x").integers(0, 10**9, 10)
+        assert not (a == b).all()
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(seed=3)
+        assert streams.get("s") is streams.get("s")
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(seed=9).fork(4).get("x").random(5)
+        b = RandomStreams(seed=9).fork(4).get("x").random(5)
+        assert (a == b).all()
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomStreams(seed=9)
+        child = parent.fork(1)
+        a = parent.get("x").random(5)
+        b = child.get("x").random(5)
+        assert not (a == b).all()
+
+    def test_fork_salts_differ(self):
+        parent = RandomStreams(seed=9)
+        a = parent.fork(1).get("x").random(5)
+        b = parent.fork(2).get("x").random(5)
+        assert not (a == b).all()
+
+    def test_seed_property(self):
+        assert RandomStreams(seed=77).seed == 77
+
+    def test_component_isolation(self):
+        """Drawing extra values from one stream must not shift another."""
+        streams_a = RandomStreams(seed=1)
+        streams_a.get("noise").random(100)  # extra consumption
+        a = streams_a.get("arrivals").random(5)
+        streams_b = RandomStreams(seed=1)
+        b = streams_b.get("arrivals").random(5)
+        assert (a == b).all()

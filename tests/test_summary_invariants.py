@@ -1,0 +1,58 @@
+"""Cross-policy summary invariants at small scale."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import NoOffloadPolicy
+from repro.core import FaaSMemPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.workloads import get_profile
+
+
+def run_platform(policy, timestamps, benchmark="json", seed=3):
+    platform = ServerlessPlatform(policy, config=PlatformConfig(seed=seed))
+    platform.register_function(benchmark, get_profile(benchmark))
+    platform.run_trace((t, benchmark) for t in sorted(timestamps))
+    return platform
+
+
+class TestSummaryInvariants:
+    @given(
+        timestamps=st.lists(
+            st.floats(min_value=0.0, max_value=400.0), min_size=1, max_size=15
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_percentiles_ordered(self, timestamps):
+        platform = run_platform(FaaSMemPolicy(), timestamps)
+        summary = platform.summarize("json", "t")
+        assert summary.latency_p50 <= summary.latency_p95 <= summary.latency_p99
+        assert summary.memory.peak_mib >= summary.memory.average_mib - 1e-9
+
+    @given(
+        timestamps=st.lists(
+            st.floats(min_value=0.0, max_value=400.0), min_size=1, max_size=15
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_offload_recall_balance(self, timestamps):
+        """Recalled volume can never exceed offloaded volume."""
+        platform = run_platform(FaaSMemPolicy(), timestamps)
+        stats = platform.fastswap.stats
+        assert stats.recalled_pages <= stats.offloaded_pages
+
+    def test_windowed_average_bounded_by_peak(self):
+        platform = run_platform(NoOffloadPolicy(), [0.0, 100.0, 200.0])
+        summary = platform.summarize("json", "t", window=300.0)
+        assert summary.memory.average_mib <= summary.memory.peak_mib + 1e-9
+
+    def test_cold_starts_bounded_by_containers(self):
+        platform = run_platform(NoOffloadPolicy(), [0.0, 0.1, 0.2, 300.0])
+        summary = platform.summarize("json", "t")
+        assert summary.cold_starts <= platform.controller.total_containers_created
+
+    def test_bandwidth_zero_for_baseline(self):
+        platform = run_platform(NoOffloadPolicy(), [0.0, 50.0])
+        summary = platform.summarize("json", "t", window=100.0)
+        assert summary.avg_offload_bandwidth_mibps == 0.0
+        assert summary.remote_avg_mib == 0.0

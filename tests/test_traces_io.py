@@ -1,0 +1,95 @@
+"""Unit tests for trace file I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.azure import AzureTraceConfig, generate_azure_like
+from repro.traces.io import load_azure_csv, load_trace_set, save_trace_set
+
+
+AZURE_SAMPLE = """app,func,end_timestamp,duration
+appA,f1,10.5,0.5
+appA,f1,20.0,1.0
+appA,f2,5.0,0.25
+appB,f1,100.0,2.0
+"""
+
+
+class TestAzureCsv:
+    def test_parses_functions_and_times(self):
+        trace_set = load_azure_csv(io.StringIO(AZURE_SAMPLE))
+        assert len(trace_set) == 3
+        f1 = trace_set.functions["appA/f1"]
+        assert f1.timestamps == [10.0, 19.0]
+
+    def test_end_time_mode(self):
+        trace_set = load_azure_csv(io.StringIO(AZURE_SAMPLE), use_start_times=False)
+        assert trace_set.functions["appA/f1"].timestamps == [10.5, 20.0]
+
+    def test_duration_clips(self):
+        trace_set = load_azure_csv(io.StringIO(AZURE_SAMPLE), duration=50.0)
+        assert trace_set.functions["appB/f1"].timestamps == []
+        assert trace_set.duration == 50.0
+
+    def test_max_functions(self):
+        trace_set = load_azure_csv(io.StringIO(AZURE_SAMPLE), max_functions=2)
+        assert len(trace_set) == 2
+
+    def test_headerless_file(self):
+        trace_set = load_azure_csv(io.StringIO("a,f,5.0,1.0\n"))
+        assert trace_set.functions["a/f"].timestamps == [4.0]
+
+    def test_negative_start_clamped(self):
+        trace_set = load_azure_csv(io.StringIO("a,f,0.5,2.0\n"))
+        assert trace_set.functions["a/f"].timestamps == [0.0]
+
+    def test_malformed_row_rejected(self):
+        # A non-numeric first line is treated as a header; a malformed
+        # row later in the file must raise.
+        with pytest.raises(TraceError):
+            load_azure_csv(io.StringIO("a,f,5.0,1.0\na,f,notanumber,1.0\n"))
+
+    def test_short_row_rejected(self):
+        with pytest.raises(TraceError):
+            load_azure_csv(io.StringIO("a,f\na,f\n"))
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\na,f,5.0,1.0\n"
+        trace_set = load_azure_csv(io.StringIO(text))
+        assert len(trace_set) == 1
+
+    def test_file_path_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(AZURE_SAMPLE)
+        trace_set = load_azure_csv(str(path))
+        assert len(trace_set) == 3
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = generate_azure_like(
+            AzureTraceConfig(n_functions=20, duration=3600.0, seed=5)
+        )
+        path = tmp_path / "set.json"
+        save_trace_set(original, str(path))
+        loaded = load_trace_set(str(path))
+        assert len(loaded) == len(original)
+        assert loaded.duration == original.duration
+        for name, trace in original.functions.items():
+            assert loaded.functions[name].timestamps == pytest.approx(trace.timestamps)
+
+    def test_stream_roundtrip(self):
+        original = generate_azure_like(
+            AzureTraceConfig(n_functions=3, duration=600.0, seed=1)
+        )
+        buffer = io.StringIO()
+        save_trace_set(original, buffer)
+        buffer.seek(0)
+        loaded = load_trace_set(buffer)
+        assert len(loaded) == 3
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(TraceError):
+            load_trace_set(io.StringIO('{"functions": {}}'))

@@ -1,0 +1,91 @@
+"""Unit tests for repro.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestPagesFromBytes:
+    def test_zero(self):
+        assert units.pages_from_bytes(0) == 0
+
+    def test_single_byte_rounds_up(self):
+        assert units.pages_from_bytes(1) == 1
+
+    def test_exact_page(self):
+        assert units.pages_from_bytes(units.PAGE_SIZE) == 1
+
+    def test_page_plus_one(self):
+        assert units.pages_from_bytes(units.PAGE_SIZE + 1) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.pages_from_bytes(-1)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_round_trip_covers_bytes(self, n):
+        pages = units.pages_from_bytes(n)
+        assert units.bytes_from_pages(pages) >= n
+        assert units.bytes_from_pages(pages) - n < units.PAGE_SIZE
+
+
+class TestPagesFromMib:
+    def test_one_mib(self):
+        assert units.pages_from_mib(1) == 256
+
+    def test_fractional(self):
+        assert units.pages_from_mib(0.5) == 128
+
+
+class TestBytesFromPages:
+    def test_simple(self):
+        assert units.bytes_from_pages(2) == 8192
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.bytes_from_pages(-1)
+
+
+class TestMibFromPages:
+    def test_inverse_of_pages_from_mib(self):
+        assert units.mib_from_pages(units.pages_from_mib(64)) == 64.0
+
+    def test_gib(self):
+        assert units.gib_from_pages(262144) == 1.0
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert units.format_bytes(2048) == "2.00 KiB"
+
+    def test_mib(self):
+        assert units.format_bytes(3 * units.MIB) == "3.00 MiB"
+
+    def test_gib(self):
+        assert units.format_bytes(5 * units.GIB) == "5.00 GiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-5)
+
+
+class TestFormatDuration:
+    def test_millis(self):
+        assert units.format_duration(0.0015) == "1.50ms"
+
+    def test_seconds(self):
+        assert units.format_duration(2.5) == "2.50s"
+
+    def test_minutes(self):
+        assert units.format_duration(250) == "4m10s"
+
+    def test_hours(self):
+        assert units.format_duration(3700) == "1h1m"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_duration(-1)
