@@ -57,6 +57,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render the figure as a terminal plot",
     )
+    runner.add_argument(
+        "--audit",
+        action="store_true",
+        help="trace + audit invariants online; non-zero exit on violations",
+    )
+    tracer = sub.add_parser(
+        "trace", help="run one experiment with event tracing and export the stream"
+    )
+    tracer.add_argument("experiment", help="experiment id, e.g. fig12")
+    tracer.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale run (shorter traces, fewer functions)",
+    )
+    tracer.add_argument("--json", help="write the buffered events to this JSON file")
+    tracer.add_argument("--csv", help="write the buffered events to this CSV file")
+    tracer.add_argument(
+        "--audit",
+        action="store_true",
+        help="also audit invariants online; non-zero exit on violations",
+    )
+    tracer.add_argument(
+        "--tail",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the last N buffered events per session",
+    )
     return parser
 
 
@@ -79,18 +107,81 @@ def _run_one(
         print(f"[wrote {json_path}]")
 
 
+def _report_audit() -> int:
+    """Print the aggregate audit report; return the violation count."""
+    from repro.obs import runtime as obs
+
+    print(obs.audit_report())
+    return obs.total_violations()
+
+
+def _trace_command(args) -> int:
+    """``repro trace``: run one experiment with tracing enabled."""
+    from repro.obs import runtime as obs
+
+    obs.reset_sessions()
+    obs.enable(trace=True, audit=args.audit)
+    try:
+        _run_one(args.experiment, args.quick, None)
+    finally:
+        obs.disable()
+    sessions = obs.sessions()
+    if not sessions:
+        print("trace: experiment registered no traced platforms")
+        return 1
+    for session in sessions:
+        tracer = session.tracer
+        print(
+            f"trace[{session.label}]: {tracer.emitted} events "
+            f"({tracer.dropped} dropped from ring), digest {tracer.digest()}"
+        )
+        if args.tail > 0:
+            for event in tracer.snapshot()[-args.tail :]:
+                print(f"  {event.line()}")
+    print(f"trace: combined digest {obs.combined_digest()}")
+    all_events = [event for session in sessions for event in session.tracer.snapshot()]
+    if args.json:
+        from repro.metrics.export import events_to_json
+
+        events_to_json(all_events, args.json)
+        print(f"[wrote {len(all_events)} events to {args.json}]")
+    if args.csv:
+        from repro.metrics.export import events_to_csv
+
+        events_to_csv(all_events, args.csv)
+        print(f"[wrote {len(all_events)} events to {args.csv}]")
+    if args.audit:
+        return 1 if _report_audit() else 0
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in list_experiments():
             print(name)
         return 0
-    if args.experiment == "all":
-        for name in list_experiments():
-            _run_one(name, args.quick, None, plot=args.plot)
-            print()
-        return 0
-    _run_one(args.experiment, args.quick, args.json, plot=args.plot)
+    if args.command == "trace":
+        return _trace_command(args)
+    if args.audit:
+        from repro.obs import runtime as obs
+
+        obs.reset_sessions()
+        obs.enable(trace=True, audit=True)
+    try:
+        if args.experiment == "all":
+            for name in list_experiments():
+                _run_one(name, args.quick, None, plot=args.plot)
+                print()
+        else:
+            _run_one(args.experiment, args.quick, args.json, plot=args.plot)
+    finally:
+        if args.audit:
+            from repro.obs import runtime as obs
+
+            obs.disable()
+    if args.audit:
+        return 1 if _report_audit() else 0
     return 0
 
 

@@ -86,7 +86,9 @@ class FaaSMemPolicy(OffloadPolicy):
     def on_runtime_loaded(self, container) -> None:
         ctl = self._ctl[container.container_id]
         if self.config.enable_pucket:
-            ctl.state = ContainerMemoryState(container.cgroup, self.config)
+            ctl.state = ContainerMemoryState(
+                container.cgroup, self.config, tracer=self.platform.tracer
+            )
             ctl.state.insert_runtime_init_barrier(self.platform.engine.now)
             ctl.window_tracker = DescentWindowTracker(self.config)
         if self.config.enable_semiwarm:

@@ -14,12 +14,13 @@ kernel implementation (§7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import FaaSMemConfig
 from repro.errors import PolicyError
 from repro.mem.cgroup import Cgroup
 from repro.mem.page import PageRegion, Segment
+from repro.obs.trace import EventKind
 
 
 class Pucket:
@@ -65,6 +66,10 @@ class Pucket:
     @property
     def inactive_regions(self) -> List[PageRegion]:
         return list(self._inactive.values())
+
+    @property
+    def offloaded_regions(self) -> List[PageRegion]:
+        return list(self._offloaded.values())
 
     @property
     def inactive_pages(self) -> int:
@@ -138,7 +143,9 @@ class ContainerMemoryState:
     through :meth:`on_touched`.
     """
 
-    def __init__(self, cgroup: Cgroup, config: FaaSMemConfig) -> None:
+    def __init__(
+        self, cgroup: Cgroup, config: FaaSMemConfig, tracer=None
+    ) -> None:
         self.cgroup = cgroup
         self.config = config
         self.runtime_pucket = Pucket("runtime", Segment.RUNTIME)
@@ -147,6 +154,8 @@ class ContainerMemoryState:
         self.overhead = OverheadLog()
         self.recall_counts: Dict[str, int] = {"runtime": 0, "init": 0}
         self._init_barrier_inserted = False
+        # Optional repro.obs.Tracer; None keeps page movements untraced.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Time barriers
@@ -161,6 +170,7 @@ class ContainerMemoryState:
             if region.is_local:
                 self.runtime_pucket.add_inactive(region)
         self.cgroup.mglru.new_generation(now, label="runtime-init-barrier")
+        self._emit_seal(self.runtime_pucket, now)
         cost = (
             self.config.barrier_base_s
             + self.runtime_pucket.inactive_pages * self.config.barrier_per_page_s
@@ -177,6 +187,7 @@ class ContainerMemoryState:
             if region.is_local:
                 self.init_pucket.add_inactive(region)
         self.cgroup.mglru.new_generation(now, label="init-exec-barrier")
+        self._emit_seal(self.init_pucket, now)
         cost = (
             self.config.barrier_base_s
             + self.init_pucket.inactive_pages * self.config.barrier_per_page_s
@@ -199,16 +210,27 @@ class ContainerMemoryState:
         for pucket in (self.runtime_pucket, self.init_pucket):
             if pucket.pop_inactive(region):
                 self.hot_pool.add(region, pucket)
+                self._emit_move(EventKind.PUCKET_PROMOTE, pucket, region, "inactive")
                 return
             if pucket.pop_offloaded(region):
                 if was_remote:
                     self.recall_counts[pucket.name] += 1
                 self.hot_pool.add(region, pucket)
+                self._emit_move(EventKind.PUCKET_PROMOTE, pucket, region, "offloaded")
                 return
         # Already hot, or an untracked (exec) region: nothing to do.
 
     def on_freed(self, region: PageRegion) -> None:
         """Forget a freed region everywhere."""
+        if self.tracer is not None:
+            src = self._placement_of(region)
+            if src is not None:
+                self.tracer.emit(
+                    EventKind.PUCKET_FORGET,
+                    self.cgroup.name,
+                    region=region.region_id,
+                    src=src,
+                )
         self.runtime_pucket.forget(region)
         self.init_pucket.forget(region)
         self.hot_pool.discard(region)
@@ -226,6 +248,7 @@ class ContainerMemoryState:
         for pucket in (self.runtime_pucket, self.init_pucket):
             if pucket.contains_inactive(region):
                 pucket.note_offloaded(region)
+                self._emit_move(EventKind.PUCKET_DEMOTE, pucket, region, "inactive")
                 return
         if self.hot_pool.discard(region):
             # A hot page offloaded by semi-warm: remember its origin as
@@ -236,6 +259,7 @@ class ContainerMemoryState:
                 else self.init_pucket
             )
             origin.note_offloaded(region)
+            self._emit_move(EventKind.PUCKET_DEMOTE, origin, region, "hot")
 
     # ------------------------------------------------------------------
     # Rollback (§5.3)
@@ -247,13 +271,63 @@ class ContainerMemoryState:
         Returns the modelled rollback cost (Fig. 15 bottom).
         """
         pages = self.hot_pool.pages
-        for region, origin in self.hot_pool.entries():
+        entries = self.hot_pool.entries()
+        for region, origin in entries:
             origin.add_inactive(region)
         self.hot_pool.clear()
         self.cgroup.mglru.new_generation(now, label="rollback")
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventKind.PUCKET_ROLLBACK,
+                self.cgroup.name,
+                regions=[region.region_id for region, _ in entries],
+                pages=pages,
+            )
         cost = self.config.rollback_base_s + pages * self.config.rollback_per_page_s
         self.overhead.rollback_samples_s.append(cost)
         return cost
+
+    # ------------------------------------------------------------------
+    # Trace emission
+    # ------------------------------------------------------------------
+
+    def _emit_seal(self, pucket: Pucket, now: float) -> None:
+        if self.tracer is None:
+            return
+        regions = pucket.inactive_regions
+        self.tracer.emit(
+            EventKind.PUCKET_SEAL,
+            self.cgroup.name,
+            pucket=pucket.name,
+            barrier_time=now,
+            regions=[region.region_id for region in regions],
+            pages=sum(region.pages for region in regions),
+        )
+
+    def _emit_move(
+        self, kind: EventKind, pucket: Pucket, region: PageRegion, src: str
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit(
+            kind,
+            self.cgroup.name,
+            pucket=pucket.name,
+            region=region.region_id,
+            pages=region.pages,
+            src=src,
+        )
+
+    def _placement_of(self, region: PageRegion) -> Optional[str]:
+        """Which tracked set currently holds ``region``, if any."""
+        for pucket in (self.runtime_pucket, self.init_pucket):
+            if pucket.contains_inactive(region):
+                return "inactive"
+            if pucket.contains_offloaded(region):
+                return "offloaded"
+        if region in self.hot_pool:
+            return "hot"
+        return None
 
     # ------------------------------------------------------------------
     # Introspection

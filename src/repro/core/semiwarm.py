@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 from repro.core.config import FaaSMemConfig
 from repro.core.pucket import ContainerMemoryState
 from repro.mem.page import PageRegion, Segment
+from repro.obs.trace import EventKind
 from repro.sim.process import PeriodicTask, Timer
 from repro.units import pages_from_mib
 
@@ -48,6 +49,7 @@ class SemiWarmController:
         self.config = config
         self.platform = container.platform
         self.engine = container.engine
+        self.tracer = getattr(self.platform, "tracer", None)
         self.episodes: List[SemiWarmEpisode] = []
         self._timer = Timer(
             self.engine, self._enter_semiwarm, name=f"semiwarm:{container.container_id}"
@@ -70,6 +72,12 @@ class SemiWarmController:
             self._drain = None
         if self.episodes and self.episodes[-1].end is None:
             self.episodes[-1].end = self.engine.now
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.SEMIWARM_CANCEL,
+                    self.container.container_id,
+                    offloaded_pages=self.episodes[-1].offloaded_pages,
+                )
 
     @property
     def active(self) -> bool:
@@ -80,6 +88,8 @@ class SemiWarmController:
         if not self.container.warm:
             return
         self.episodes.append(SemiWarmEpisode(start=self.engine.now))
+        if self.tracer is not None:
+            self.tracer.emit(EventKind.SEMIWARM_ENTER, self.container.container_id)
         self._drain = PeriodicTask(
             self.engine,
             self.config.semiwarm_tick_s,
@@ -113,6 +123,13 @@ class SemiWarmController:
         if self.state is not None:
             for region in victims:
                 self.state.note_offload(region)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventKind.SEMIWARM_DRAIN,
+                self.container.container_id,
+                pages=moved,
+                regions=len(victims),
+            )
 
     def _tick_budget_pages(self) -> int:
         """Pages to move this tick, after global bandwidth throttling."""

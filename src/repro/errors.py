@@ -49,3 +49,8 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
+
+
+class AuditError(ReproError):
+    """Raised when the invariant auditor finds (or is asked to assert
+    the absence of) conservation-law violations."""

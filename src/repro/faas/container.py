@@ -21,6 +21,7 @@ from repro.errors import LifecycleError
 from repro.faas.request import Invocation, RequestRecord
 from repro.mem.cgroup import Cgroup
 from repro.mem.page import PageRegion, Segment
+from repro.obs.trace import EventKind
 from repro.sim.process import PeriodicTask, Timer
 from repro.units import pages_from_mib
 from repro.workloads.profile import InitState
@@ -59,7 +60,8 @@ class Container:
         salt = zlib.crc32(container_id.encode("utf-8"))
         self.rng: np.random.Generator = platform.streams.fork(salt).get("container")
 
-        self.state = ContainerState.LAUNCHING
+        self.state: Optional[ContainerState] = None
+        self._transition(ContainerState.LAUNCHING)
         self.created_at = self.engine.now
         self.reclaimed_at: Optional[float] = None
         self.idle_since: Optional[float] = None
@@ -83,6 +85,18 @@ class Container:
             self._finish_launch,
             name=f"launch:{container_id}",
         )
+
+    def _transition(self, new_state: ContainerState) -> None:
+        """Move to ``new_state``, tracing the lifecycle edge."""
+        old = self.state.value if self.state is not None else ""
+        self.state = new_state
+        tracer = self.platform.tracer
+        if tracer is not None:
+            tracer.emit(
+                EventKind.CONTAINER_STATE,
+                self.container_id,
+                **{"from": old, "to": new_state.value},
+            )
 
     # ------------------------------------------------------------------
     # Launch / init
@@ -112,7 +126,7 @@ class Container:
                     )
                 )
         self.platform.policy.on_runtime_loaded(self)
-        self.state = ContainerState.INITIALIZING
+        self._transition(ContainerState.INITIALIZING)
         # Init-segment memory is allocated across the init stage; the
         # simulation allocates it up front (peak behaviour, Fig. 6)
         # and frees the transient share when init finishes.
@@ -135,7 +149,7 @@ class Container:
         if self._init_transient is not None:
             self.cgroup.free(self._init_transient)
             self._init_transient = None
-        self.state = ContainerState.IDLE
+        self._transition(ContainerState.IDLE)
         self.platform.policy.on_init_complete(self)
         if self.pending:
             self._start_next()
@@ -167,7 +181,7 @@ class Container:
         )
         self._keep_alive.cancel()
         self._stop_heartbeat()
-        self.state = ContainerState.BUSY
+        self._transition(ContainerState.BUSY)
         invocation = self.pending.popleft()
         self.platform.policy.on_request_start(self)
 
@@ -236,7 +250,10 @@ class Container:
         for region in regions:
             seen[region.region_id] = region
             names.add((region.name, region.segment))
-        for name, segment in names:
+        # Sorted iteration: set order depends on per-process str hash
+        # salting, which would make the expansion (and hence the event
+        # stream) differ across processes for the same seed.
+        for name, segment in sorted(names, key=lambda ns: (ns[0], ns[1].value)):
             for sibling in self.cgroup.space.find(name, segment):
                 if not sibling.freed:
                     seen.setdefault(sibling.region_id, sibling)
@@ -271,7 +288,7 @@ class Container:
         if self.pending:
             self._start_next()
         else:
-            self.state = ContainerState.IDLE
+            self._transition(ContainerState.IDLE)
             self._enter_idle()
 
     # ------------------------------------------------------------------
@@ -328,7 +345,7 @@ class Container:
         self._keep_alive.cancel()
         self._stop_heartbeat()
         self.platform.policy.on_container_reclaimed(self)
-        self.state = ContainerState.RECLAIMED
+        self._transition(ContainerState.RECLAIMED)
         self.reclaimed_at = self.engine.now
         self.cgroup.free_all()
         if self._shared_runtime is not None:

@@ -10,12 +10,16 @@ from repro.faas.controller import Controller
 from repro.faas.function import FunctionSpec
 from repro.faas.keepalive import FixedKeepAlive, KeepAlivePolicy
 from repro.faas.policy import OffloadPolicy
-from repro.faas.request import Invocation, RequestRecord
+from repro.faas.request import Invocation, RequestRecord, reset_invocation_ids
 from repro.mem.node import ComputeNode
+from repro.mem.page import reset_region_ids
 from repro.metrics.latency import LatencyStats
 from repro.metrics.memory import MemoryTimeline
 from repro.metrics.summary import RunSummary
 from repro.metrics.timeweighted import TimeWeightedAccumulator
+from repro.obs import runtime as obs_runtime
+from repro.obs.audit import InvariantAuditor
+from repro.obs.trace import Tracer
 from repro.pool.bandwidth import BandwidthMonitor
 from repro.pool.fastswap import Fastswap
 from repro.pool.link import Link, LinkConfig, LinkDirection
@@ -56,6 +60,13 @@ class PlatformConfig:
     # stranded node).
     evict_on_pressure: bool = False
     seed: int = 42
+    # Structured event tracing (repro.obs). Off by default: with no
+    # tracer attached every emission site is a single ``is not None``
+    # check. ``audit_events`` additionally attaches the invariant
+    # auditor to the trace stream.
+    trace_events: bool = False
+    audit_events: bool = False
+    trace_capacity: int = 1 << 16
 
 
 @dataclass
@@ -77,10 +88,43 @@ class ServerlessPlatform:
         policy: OffloadPolicy,
         config: Optional[PlatformConfig] = None,
         keep_alive: Optional[KeepAlivePolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config or PlatformConfig()
+        # Restart the process-global id sequences so repeated same-seed
+        # runs assign identical region/invocation ids (and therefore
+        # emit byte-identical trace streams). Only relative id order
+        # matters to the simulation, so this is behaviour-preserving.
+        reset_region_ids()
+        reset_invocation_ids()
         self.engine = Engine()
         self.streams = RandomStreams(seed=self.config.seed)
+        # Observability: an explicit tracer, the config switch, or the
+        # process-wide repro.obs switches all enable tracing; auditing
+        # subscribes the invariant checker to the same stream.
+        want_trace = (
+            tracer is not None
+            or self.config.trace_events
+            or self.config.audit_events
+            or obs_runtime.trace_enabled()
+        )
+        want_audit = self.config.audit_events or obs_runtime.audit_enabled()
+        if tracer is None and want_trace:
+            tracer = Tracer(
+                clock=lambda: self.engine.now,
+                capacity=max(self.config.trace_capacity, obs_runtime.trace_capacity()),
+            )
+        self.tracer = tracer
+        self.auditor: Optional[InvariantAuditor] = None
+        if tracer is not None:
+            self.engine.tracer = tracer
+            if want_audit:
+                self.auditor = InvariantAuditor().attach(tracer)
+            obs_runtime.register_session(
+                obs_runtime.ObsSession(
+                    label=f"{policy.name}", tracer=tracer, auditor=self.auditor
+                )
+            )
         self.node = ComputeNode(
             clock=lambda: self.engine.now,
             capacity_mib=self.config.node_capacity_mib,
@@ -92,6 +136,9 @@ class ServerlessPlatform:
         )
         self.link = Link(self.config.link)
         self.fastswap = Fastswap(self.engine, self.link, self.pool)
+        if tracer is not None:
+            self.link.tracer = tracer
+            self.fastswap.tracer = tracer
         self.bandwidth_monitor = BandwidthMonitor(self.link)
         self.keep_alive = keep_alive or FixedKeepAlive(self.config.keep_alive_s)
         self.controller = Controller(self)
@@ -159,6 +206,8 @@ class ServerlessPlatform:
         """Run pending events (keep-alive expiries included)."""
         self.engine.run(until=until)
         self.policy.detach()
+        if self.auditor is not None:
+            self.auditor.finalize(self)
 
     # ------------------------------------------------------------------
     # Bookkeeping callbacks

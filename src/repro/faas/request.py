@@ -8,6 +8,12 @@ from dataclasses import dataclass, field
 _INVOCATION_IDS = itertools.count(1)
 
 
+def reset_invocation_ids() -> None:
+    """Restart the invocation-id sequence (see ``reset_region_ids``)."""
+    global _INVOCATION_IDS
+    _INVOCATION_IDS = itertools.count(1)
+
+
 @dataclass
 class Invocation:
     """One triggered request for a function."""

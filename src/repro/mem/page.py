@@ -20,6 +20,19 @@ from repro.units import mib_from_pages
 _REGION_IDS = itertools.count(1)
 
 
+def reset_region_ids() -> None:
+    """Restart the region-id sequence.
+
+    Region ids only matter for identity and relative order (sorting
+    tiebreaks), both invariant to the counter's starting offset, so a
+    reset never changes simulation behaviour. Platforms reset at
+    construction so that repeated same-seed runs in one process emit
+    byte-identical trace streams.
+    """
+    global _REGION_IDS
+    _REGION_IDS = itertools.count(1)
+
+
 class Segment(enum.Enum):
     """The paper's three-segment serverless memory layout (§3)."""
 

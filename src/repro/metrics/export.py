@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
@@ -61,6 +63,53 @@ def _json_default(value: Any) -> Any:
     if hasattr(value, "__dict__"):
         return {k: v for k, v in vars(value).items() if not k.startswith("_")}
     raise TypeError(f"cannot serialize {type(value)!r}")
+
+
+def events_to_json(events: Sequence[Any], path: Optional[str] = None) -> str:
+    """Serialize trace events (objects with ``as_dict``) to a JSON array."""
+    payload = [event.as_dict() for event in events]
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def events_to_csv(events: Sequence[Any], path: Optional[str] = None) -> str:
+    """Serialize trace events to CSV.
+
+    The header is the union of all per-event fields: the four fixed
+    columns first, then kind-specific data columns in first-seen
+    order. Events missing a column leave the cell empty.
+    """
+    fixed = ["seq", "time", "kind", "subject"]
+    extra: List[str] = []
+    rows: List[Dict[str, Any]] = []
+    for event in events:
+        row = event.as_dict()
+        rows.append(row)
+        for key in row:
+            if key not in fixed and key not in extra:
+                extra.append(key)
+    columns = fixed + extra
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: _format_csv_cell(row.get(col)) for col in columns})
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def _format_csv_cell(value: Any) -> Any:
+    if value is None:
+        return ""
+    if isinstance(value, (list, tuple)):
+        return json.dumps(list(value), separators=(",", ":"), default=str)
+    return value
 
 
 def normalize_series(values: Iterable[float], reference: float) -> List[float]:

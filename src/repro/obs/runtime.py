@@ -1,0 +1,111 @@
+"""Process-wide observability switches and the session registry.
+
+Experiment harnesses build :class:`~repro.faas.platform.ServerlessPlatform`
+objects internally, so per-call plumbing cannot reach them. Instead,
+``enable(trace=..., audit=...)`` flips process-wide switches that every
+subsequently-constructed platform consults: when tracing is on it
+builds a :class:`~repro.obs.trace.Tracer`, when auditing is on it
+attaches an :class:`~repro.obs.audit.InvariantAuditor`, and either way
+it registers an :class:`ObsSession` here so the CLI (``--audit``) and
+tests can collect digests and violations after the run.
+
+The switches default to off; with them off the only cost in the
+simulator is a ``tracer is None`` check per hook.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.obs.audit import InvariantAuditor
+from repro.obs.trace import Tracer
+
+
+@dataclass
+class ObsSession:
+    """One traced platform run: its tracer and (optional) auditor."""
+
+    label: str
+    tracer: Tracer
+    auditor: Optional[InvariantAuditor] = None
+
+
+_STATE = {"trace": False, "audit": False, "capacity": 1 << 16}
+_SESSIONS: List[ObsSession] = []
+
+
+def enable(trace: bool = True, audit: bool = True, capacity: int = 1 << 16) -> None:
+    """Turn on tracing (and optionally auditing) for new platforms."""
+    _STATE["trace"] = trace or audit  # auditing needs the event stream
+    _STATE["audit"] = audit
+    _STATE["capacity"] = capacity
+
+
+def disable() -> None:
+    """Turn both switches off (new platforms go back to zero-cost)."""
+    _STATE["trace"] = False
+    _STATE["audit"] = False
+
+
+def trace_enabled() -> bool:
+    return bool(_STATE["trace"])
+
+
+def audit_enabled() -> bool:
+    return bool(_STATE["audit"])
+
+
+def trace_capacity() -> int:
+    return int(_STATE["capacity"])
+
+
+def register_session(session: ObsSession) -> ObsSession:
+    """Record a platform's tracer/auditor for later collection."""
+    _SESSIONS.append(session)
+    return session
+
+
+def sessions() -> List[ObsSession]:
+    """Sessions registered since the last :func:`reset_sessions`."""
+    return list(_SESSIONS)
+
+
+def reset_sessions() -> None:
+    _SESSIONS.clear()
+
+
+def combined_digest() -> str:
+    """One digest over every session's full event stream, in order."""
+    digest = hashlib.sha256()
+    for session in _SESSIONS:
+        digest.update(session.tracer.digest().encode("ascii"))
+    return digest.hexdigest()
+
+
+def total_violations() -> int:
+    return sum(
+        len(session.auditor.violations)
+        for session in _SESSIONS
+        if session.auditor is not None
+    )
+
+
+def audit_report() -> str:
+    """Aggregate report across all registered sessions."""
+    audited = [s for s in _SESSIONS if s.auditor is not None]
+    if not audited:
+        return "audit: no audited sessions"
+    checks = sum(s.auditor.checks for s in audited)
+    events = sum(s.auditor.events_seen for s in audited)
+    violations = total_violations()
+    lines = [
+        f"audit: {len(audited)} session(s), {checks} checks over "
+        f"{events} events, {violations} violation(s)"
+    ]
+    for session in audited:
+        if session.auditor.violations:
+            lines.append(f"-- session {session.label}:")
+            lines.extend(f"   {v}" for v in session.auditor.violations)
+    return "\n".join(lines)

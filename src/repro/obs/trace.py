@@ -1,0 +1,187 @@
+"""Structured event tracing: a low-overhead, typed event ring buffer.
+
+Every load-bearing state change in the simulator — page offloads and
+recalls, Pucket promotions and demotions, container lifecycle
+transitions, link transfers — can emit a :class:`TraceEvent` into a
+:class:`Tracer`. Components hold a ``tracer`` attribute that is
+``None`` by default, and every emission site is guarded by a single
+``is not None`` check, so tracing costs one attribute test per hook
+when disabled.
+
+The tracer keeps the most recent events in a bounded ring buffer (for
+export) and maintains an incremental SHA-256 digest over the *entire*
+emitted stream (for determinism checks: two runs of the same seeded
+experiment must produce byte-identical streams). Subscribers — most
+importantly :class:`repro.obs.audit.InvariantAuditor` — see every
+event online, regardless of ring capacity.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+import json
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+
+class EventKind(str, enum.Enum):
+    """The typed vocabulary of trace records."""
+
+    # Discrete-event engine (repro.sim.engine)
+    ENGINE_EVENT = "engine.event"
+
+    # Container lifecycle (repro.faas.container)
+    CONTAINER_STATE = "container.state"
+
+    # Swap datapath (repro.pool.fastswap)
+    OFFLOAD_ISSUE = "region.offload.issue"
+    OFFLOAD_COMPLETE = "region.offload.complete"
+    OFFLOAD_ABORT = "region.offload.abort"
+    RECALL = "region.recall"
+    REMOTE_FREED = "region.remote_freed"
+
+    # Pucket machinery (repro.core.pucket)
+    PUCKET_SEAL = "pucket.seal"
+    PUCKET_PROMOTE = "pucket.promote"
+    PUCKET_DEMOTE = "pucket.demote"
+    PUCKET_ROLLBACK = "pucket.rollback"
+    PUCKET_FORGET = "pucket.forget"
+
+    # Semi-warm controller (repro.core.semiwarm)
+    SEMIWARM_ENTER = "semiwarm.enter"
+    SEMIWARM_CANCEL = "semiwarm.cancel"
+    SEMIWARM_DRAIN = "semiwarm.drain"
+
+    # Interconnect (repro.pool.link)
+    LINK_TRANSFER = "link.transfer"
+
+
+class TraceEvent:
+    """One typed trace record.
+
+    ``data`` holds kind-specific scalar fields (plus the occasional
+    list of region ids); values must be JSON-serializable so the
+    stream can be exported and hashed canonically.
+    """
+
+    __slots__ = ("seq", "time", "kind", "subject", "data")
+
+    def __init__(
+        self, seq: int, time: float, kind: str, subject: str, data: Dict[str, Any]
+    ) -> None:
+        self.seq = seq
+        self.time = time
+        self.kind = kind
+        self.subject = subject
+        self.data = data
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict form used by the JSON/CSV exporters."""
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind,
+            "subject": self.subject,
+        }
+        out.update(self.data)
+        return out
+
+    def line(self) -> str:
+        """Canonical one-line serialization (hashed for determinism)."""
+        payload = json.dumps(
+            self.data, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return f"{self.seq}|{self.time!r}|{self.kind}|{self.subject}|{payload}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.line()})"
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent` with live subscribers.
+
+    Args:
+        clock: callable returning the current simulated time; every
+            emitted event is stamped with it.
+        capacity: ring-buffer size; older events fall off but remain
+            counted in :attr:`emitted` and hashed into the digest.
+        digest: maintain an incremental SHA-256 over the full stream.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        capacity: int = 1 << 16,
+        digest: bool = True,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._clock = clock
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self._hash = hashlib.sha256() if digest else None
+        self.emitted = 0
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: EventKind, subject: str = "", **data: Any) -> Optional[TraceEvent]:
+        """Record one event; returns it (or None when disabled)."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            seq=next(self._seq),
+            time=self._clock(),
+            kind=kind.value if isinstance(kind, EventKind) else str(kind),
+            subject=subject,
+            data=data,
+        )
+        self.events.append(event)
+        self.emitted += 1
+        if self._hash is not None:
+            self._hash.update(event.line().encode("utf-8"))
+            self._hash.update(b"\n")
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Register an online consumer called for every emitted event."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical full event stream."""
+        if self._hash is None:
+            raise ValueError("tracer was built with digest=False")
+        return self._hash.hexdigest()
+
+    @property
+    def dropped(self) -> int:
+        """Events that have fallen off the ring buffer."""
+        return self.emitted - len(self.events)
+
+    def snapshot(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self.events)
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        from repro.metrics.export import events_to_json
+
+        return events_to_json(self.snapshot(), path)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        from repro.metrics.export import events_to_csv
+
+        return events_to_csv(self.snapshot(), path)
+
+    def __len__(self) -> int:
+        return len(self.events)

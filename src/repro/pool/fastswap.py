@@ -19,6 +19,7 @@ from typing import Dict, Iterable
 from repro.errors import MemoryError_
 from repro.mem.cgroup import Cgroup
 from repro.mem.page import PageRegion
+from repro.obs.trace import EventKind
 from repro.pool.link import Link, LinkDirection
 from repro.pool.remote_pool import RemotePool
 from repro.sim.engine import Engine
@@ -41,10 +42,21 @@ class FastswapConfig:
 
 @dataclass
 class SwapStats:
-    """Cumulative datapath statistics."""
+    """Cumulative datapath statistics.
+
+    The counters satisfy a conservation identity the invariant auditor
+    (:mod:`repro.obs.audit`) checks continuously::
+
+        offloaded_pages == recalled_pages + remote_freed_pages
+                           + remote-resident pages (== pool usage)
+
+    Every counter is monotonically non-decreasing; derived balances
+    (:attr:`remote_resident_pages`) must never go negative.
+    """
 
     offloaded_pages: int = 0
     recalled_pages: int = 0
+    remote_freed_pages: int = 0
     aborted_offloads: int = 0
     offload_ops: int = 0
     fault_ops: int = 0
@@ -56,6 +68,29 @@ class SwapStats:
     @property
     def recalled_mib(self) -> float:
         return self.recalled_pages * PAGE_SIZE / MIB
+
+    @property
+    def remote_resident_pages(self) -> int:
+        """Pages currently parked in the pool, by conservation."""
+        return self.offloaded_pages - self.recalled_pages - self.remote_freed_pages
+
+    def check_conservation(self, pool_used_pages: int) -> None:
+        """Raise if the conservation identity does not hold."""
+        for name in ("offloaded_pages", "recalled_pages", "remote_freed_pages",
+                     "aborted_offloads", "offload_ops", "fault_ops"):
+            value = getattr(self, name)
+            if value < 0:
+                raise MemoryError_(f"SwapStats.{name} went negative: {value}")
+        if self.remote_resident_pages < 0:
+            raise MemoryError_(
+                f"swap conservation broken: offloaded={self.offloaded_pages} < "
+                f"recalled={self.recalled_pages} + freed={self.remote_freed_pages}"
+            )
+        if self.remote_resident_pages != pool_used_pages:
+            raise MemoryError_(
+                f"swap conservation broken: remote-resident balance "
+                f"{self.remote_resident_pages} != pool usage {pool_used_pages}"
+            )
 
 
 class Fastswap:
@@ -75,6 +110,8 @@ class Fastswap:
         self.stats = SwapStats()
         self._per_cgroup_offloaded: Dict[str, int] = {}
         self._per_cgroup_recalled: Dict[str, int] = {}
+        # Optional repro.obs.Tracer; None keeps the datapath untraced.
+        self.tracer = None
 
     def attach(self, cgroup: Cgroup) -> None:
         """Wire a cgroup so freeing remote regions releases pool pages."""
@@ -96,28 +133,58 @@ class Fastswap:
             if region.freed or region.is_remote:
                 continue
             issue_access_count = region.access_count
+            issue_pages = region.pages
             _, completion = self.link.transfer(
-                self.engine.now, region.pages, LinkDirection.OUT
+                self.engine.now, issue_pages, LinkDirection.OUT
             )
             self.engine.schedule_at(
                 completion,
-                lambda r=region, c=cgroup, a=issue_access_count: self._complete_offload(
-                    c, r, a
+                lambda r=region, c=cgroup, a=issue_access_count, p=issue_pages: (
+                    self._complete_offload(c, r, a, p)
                 ),
                 name=f"offload:{region.name}",
             )
             self.stats.offload_ops += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.OFFLOAD_ISSUE,
+                    cgroup.name,
+                    region=region.region_id,
+                    pages=issue_pages,
+                )
         return completion
 
     def _complete_offload(
-        self, cgroup: Cgroup, region: PageRegion, issue_access_count: int
+        self,
+        cgroup: Cgroup,
+        region: PageRegion,
+        issue_access_count: int,
+        issue_pages: int,
     ) -> None:
-        if region.freed or region.is_remote:
-            self.stats.aborted_offloads += 1
-            return
-        if region.access_count != issue_access_count:
+        reason = ""
+        if region.freed:
+            reason = "freed"
+        elif region.is_remote:
+            reason = "already-remote"
+        elif region.access_count != issue_access_count:
             # Re-dirtied while the write-out was in flight: abort.
+            reason = "re-dirtied"
+        elif region.pages != issue_pages:
+            # Partially cancelled: the region was split while its
+            # write-out was in flight, so the written-out image no
+            # longer matches the region. Abort rather than account
+            # pages that were never transferred.
+            reason = "resized"
+        if reason:
             self.stats.aborted_offloads += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.OFFLOAD_ABORT,
+                    cgroup.name,
+                    region=region.region_id,
+                    pages=issue_pages,
+                    reason=reason,
+                )
             return
         self.pool.store(region.pages)
         cgroup.mark_offloaded(region)
@@ -125,6 +192,13 @@ class Fastswap:
         self._per_cgroup_offloaded[cgroup.name] = (
             self._per_cgroup_offloaded.get(cgroup.name, 0) + region.pages
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventKind.OFFLOAD_COMPLETE,
+                cgroup.name,
+                region=region.region_id,
+                pages=region.pages,
+            )
 
     # ------------------------------------------------------------------
     # Page-in
@@ -159,6 +233,13 @@ class Fastswap:
             cgroup.mark_fetched(region)
             total_pages += region.pages
             self.stats.fault_ops += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.RECALL,
+                    cgroup.name,
+                    region=region.region_id,
+                    pages=region.pages,
+                )
         if total_pages == 0:
             return 0.0
         self.stats.recalled_pages += total_pages
@@ -175,6 +256,14 @@ class Fastswap:
 
     def _handle_remote_freed(self, region: PageRegion) -> None:
         self.pool.release(region.pages)
+        self.stats.remote_freed_pages += region.pages
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventKind.REMOTE_FREED,
+                region.name,
+                region=region.region_id,
+                pages=region.pages,
+            )
 
     def offloaded_pages_of(self, cgroup_name: str) -> int:
         return self._per_cgroup_offloaded.get(cgroup_name, 0)

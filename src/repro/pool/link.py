@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.obs.trace import EventKind
 from repro.units import PAGE_SIZE
 
 
@@ -62,6 +63,8 @@ class Link:
 
     def __init__(self, config: LinkConfig = None) -> None:
         self.config = config or LinkConfig()
+        # Optional repro.obs.Tracer; None keeps transfers untraced.
+        self.tracer = None
         self._busy_until: Dict[LinkDirection, float] = {
             LinkDirection.OUT: 0.0,
             LinkDirection.IN: 0.0,
@@ -96,6 +99,15 @@ class Link:
         self._busy_until[direction] = completion
         if pages > 0:
             self._transfers[direction].append((completion, pages * PAGE_SIZE))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.LINK_TRANSFER,
+                    direction.value,
+                    pages=pages,
+                    start=start,
+                    completion=completion,
+                    capacity=self.config.bandwidth_bytes_per_s,
+                )
         return start, completion
 
     def queue_delay(self, now: float, direction: LinkDirection) -> float:

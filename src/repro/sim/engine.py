@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.trace import EventKind
 
 
 @dataclass(order=True)
@@ -46,6 +47,8 @@ class Engine:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        # Optional repro.obs.Tracer; None keeps the hot loop untraced.
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -90,6 +93,8 @@ class Engine:
                 continue
             self._now = event.time
             self._events_processed += 1
+            if self.tracer is not None:
+                self.tracer.emit(EventKind.ENGINE_EVENT, event.name)
             event.callback()
             return event
         return None

@@ -22,6 +22,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_trace_command_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "fig12", "--quick", "--audit", "--json", "t.json", "--tail", "5"]
+        )
+        assert args.command == "trace"
+        assert args.experiment == "fig12"
+        assert args.audit and args.quick
+        assert args.json == "t.json" and args.tail == 5
+
+    def test_run_audit_flag(self):
+        args = build_parser().parse_args(["run", "fig12", "--audit"])
+        assert args.audit
+
 
 class TestMain:
     def test_list_prints_experiments(self, capsys):
@@ -45,6 +58,37 @@ class TestMain:
 
         with pytest.raises(ExperimentError):
             main(["run", "fig99"])
+
+    def test_run_with_audit_reports_clean(self, capsys):
+        assert main(["run", "fig04", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_trace_exports_events(self, tmp_path, capsys):
+        json_path = tmp_path / "events.json"
+        csv_path = tmp_path / "events.csv"
+        assert (
+            main(
+                [
+                    "trace",
+                    "fig04",
+                    "--audit",
+                    "--json",
+                    str(json_path),
+                    "--csv",
+                    str(csv_path),
+                    "--tail",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "combined digest" in out
+        assert "0 violation(s)" in out
+        events = json.loads(json_path.read_text())
+        assert events and {"seq", "time", "kind", "subject"} <= set(events[0])
+        assert csv_path.read_text().startswith("seq,time,kind,subject")
 
     def test_quick_kwargs_applied(self, capsys):
         # fig15 --quick uses a 300 s trace; just assert it completes fast

@@ -1,0 +1,156 @@
+"""Unit tests for the structured event tracer (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import EventKind, TraceEvent, Tracer
+
+
+def make_tracer(**kwargs):
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"], **kwargs)
+    return clock, tracer
+
+
+class TestTracer:
+    def test_emit_stamps_clock_and_seq(self):
+        clock, tracer = make_tracer()
+        clock["now"] = 1.5
+        first = tracer.emit(EventKind.RECALL, "cg", region=1, pages=4)
+        clock["now"] = 2.5
+        second = tracer.emit(EventKind.RECALL, "cg", region=2, pages=4)
+        assert (first.seq, first.time) == (0, 1.5)
+        assert (second.seq, second.time) == (1, 2.5)
+        assert first.kind == "region.recall"
+
+    def test_ring_buffer_drops_oldest_but_counts_all(self):
+        _, tracer = make_tracer(capacity=4)
+        for i in range(10):
+            tracer.emit(EventKind.ENGINE_EVENT, f"e{i}")
+        assert len(tracer) == 4
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        assert [e.subject for e in tracer.snapshot()] == ["e6", "e7", "e8", "e9"]
+
+    def test_digest_covers_dropped_events(self):
+        _, small = make_tracer(capacity=2)
+        _, large = make_tracer(capacity=1000)
+        for tracer in (small, large):
+            for i in range(50):
+                tracer.emit(EventKind.ENGINE_EVENT, f"e{i}", idx=i)
+        assert small.digest() == large.digest()
+
+    def test_digest_sensitive_to_payload(self):
+        _, a = make_tracer()
+        _, b = make_tracer()
+        a.emit(EventKind.RECALL, "cg", pages=1)
+        b.emit(EventKind.RECALL, "cg", pages=2)
+        assert a.digest() != b.digest()
+
+    def test_subscriber_sees_every_event(self):
+        _, tracer = make_tracer(capacity=2)
+        seen = []
+        tracer.subscribe(seen.append)
+        for i in range(5):
+            tracer.emit(EventKind.ENGINE_EVENT, f"e{i}")
+        assert len(seen) == 5  # ring capacity does not limit subscribers
+
+    def test_disabled_tracer_is_a_no_op(self):
+        _, tracer = make_tracer()
+        tracer.enabled = False
+        assert tracer.emit(EventKind.RECALL, "cg") is None
+        assert tracer.emitted == 0
+
+    def test_line_is_canonical(self):
+        _, tracer = make_tracer()
+        event = tracer.emit(EventKind.RECALL, "cg", b=2, a=1)
+        # Keys sorted, compact separators: byte-stable across runs.
+        assert event.line().endswith('|region.recall|cg|{"a":1,"b":2}')
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_tracer(capacity=0)
+
+    def test_digest_disabled_raises(self):
+        _, tracer = make_tracer(digest=False)
+        tracer.emit(EventKind.ENGINE_EVENT, "e")
+        with pytest.raises(ValueError):
+            tracer.digest()
+
+
+class TestExport:
+    def test_to_json_round_trips(self, tmp_path):
+        _, tracer = make_tracer()
+        tracer.emit(EventKind.RECALL, "cg", region=7, pages=16)
+        path = tmp_path / "events.json"
+        text = tracer.to_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert json.loads(text) == loaded
+        assert loaded[0]["kind"] == "region.recall"
+        assert loaded[0]["region"] == 7
+
+    def test_to_csv_unions_columns(self, tmp_path):
+        _, tracer = make_tracer()
+        tracer.emit(EventKind.RECALL, "cg", region=7, pages=16)
+        tracer.emit(EventKind.LINK_TRANSFER, "out", pages=4, start=0.0, completion=1.0)
+        path = tmp_path / "events.csv"
+        tracer.to_csv(str(path))
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        assert header[:4] == ["seq", "time", "kind", "subject"]
+        assert {"region", "pages", "start", "completion"} <= set(header)
+        assert len(lines) == 3
+
+    def test_csv_serializes_lists_as_json(self):
+        _, tracer = make_tracer()
+        tracer.emit(EventKind.PUCKET_SEAL, "cg", regions=[1, 2, 3], pages=12)
+        text = tracer.to_csv()
+        assert '"[1,2,3]"' in text or "[1,2,3]" in text
+
+
+class TestPlatformWiring:
+    def test_platform_tracer_off_by_default(self, platform):
+        assert platform.tracer is None
+        assert platform.auditor is None
+        assert platform.engine.tracer is None
+        assert platform.link.tracer is None
+        assert platform.fastswap.tracer is None
+
+    def test_config_switch_builds_and_wires_tracer(self):
+        from repro.baselines import NoOffloadPolicy
+        from repro.faas import PlatformConfig, ServerlessPlatform
+
+        platform = ServerlessPlatform(
+            NoOffloadPolicy(), config=PlatformConfig(trace_events=True)
+        )
+        assert platform.tracer is not None
+        assert platform.engine.tracer is platform.tracer
+        assert platform.link.tracer is platform.tracer
+        assert platform.fastswap.tracer is platform.tracer
+        assert platform.auditor is None  # audit not requested
+
+    def test_audit_switch_implies_tracing(self, web_platform):
+        from repro.faas import PlatformConfig, ServerlessPlatform
+        from repro.baselines import NoOffloadPolicy
+
+        platform = ServerlessPlatform(
+            NoOffloadPolicy(), config=PlatformConfig(audit_events=True)
+        )
+        assert platform.tracer is not None
+        assert platform.auditor is not None
+
+    def test_traced_run_emits_lifecycle_events(self):
+        from repro.baselines import NoOffloadPolicy
+        from repro.faas import PlatformConfig, ServerlessPlatform
+        from repro.workloads import get_profile
+
+        platform = ServerlessPlatform(
+            NoOffloadPolicy(), config=PlatformConfig(trace_events=True)
+        )
+        platform.register_function("web", get_profile("web"))
+        platform.submit("web", at_time=0.0)
+        platform.run()
+        kinds = {event.kind for event in platform.tracer.snapshot()}
+        assert "engine.event" in kinds
+        assert "container.state" in kinds

@@ -137,6 +137,89 @@ class TestFault:
         assert stall >= 100 * 1e-5 / 0.5
 
 
+class TestSwapStatsConservation:
+    """Regression tests for the SwapStats conservation identity:
+    offloaded == recalled + remote_freed + remote-resident (pool usage)."""
+
+    def test_identity_through_full_lifecycle(self, engine, cgroup, fastswap):
+        fastswap.attach(cgroup)
+        a = cgroup.allocate("a", Segment.INIT, 100)
+        b = cgroup.allocate("b", Segment.INIT, 50)
+        fastswap.offload(cgroup, [a, b])
+        engine.run()
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+        assert fastswap.stats.remote_resident_pages == 150
+        fastswap.fault(cgroup, [a])
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+        assert fastswap.stats.remote_resident_pages == 50
+        cgroup.free(b)
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+        assert fastswap.stats.remote_freed_pages == 50
+        assert fastswap.stats.remote_resident_pages == 0
+
+    def test_aborted_offload_leaves_identity_intact(self, engine, cgroup, fastswap):
+        r = cgroup.allocate("a", Segment.INIT, 64)
+        fastswap.offload(cgroup, [r])
+        cgroup.touch(r)  # abort: re-dirtied in flight
+        engine.run()
+        assert fastswap.stats.aborted_offloads == 1
+        assert fastswap.stats.offloaded_pages == 0
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+
+    def test_split_in_flight_offload_aborts(self, engine, cgroup, fastswap):
+        """A region split (partially cancelled) while its write-out is
+        in flight must abort, not account mismatched page counts."""
+        r = cgroup.allocate("a", Segment.INIT, 100)
+        fastswap.offload(cgroup, [r])
+        sibling = r.split(40)  # shrink r to 60 pages mid-flight
+        cgroup.space.adopt(sibling)
+        engine.run()
+        assert fastswap.stats.aborted_offloads == 1
+        assert fastswap.stats.offloaded_pages == 0
+        assert r.is_local and sibling.is_local
+        assert fastswap.pool.used_pages == 0
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+
+    def test_counters_monotone_and_never_negative(self, engine, cgroup, fastswap):
+        fastswap.attach(cgroup)
+        regions = [
+            cgroup.allocate(f"r{i}", Segment.INIT, 10 + i) for i in range(6)
+        ]
+        fastswap.offload(cgroup, regions)
+        engine.run()
+        fastswap.fault(cgroup, regions[:3])
+        cgroup.free(regions[3])
+        fastswap.offload(cgroup, regions[:2])
+        engine.run()
+        stats = fastswap.stats
+        for name in (
+            "offloaded_pages",
+            "recalled_pages",
+            "remote_freed_pages",
+            "aborted_offloads",
+            "offload_ops",
+            "fault_ops",
+        ):
+            assert getattr(stats, name) >= 0
+        stats.check_conservation(fastswap.pool.used_pages)
+
+    def test_check_conservation_rejects_negative_counter(self, fastswap):
+        fastswap.stats.recalled_pages = -1
+        with pytest.raises(MemoryError_):
+            fastswap.stats.check_conservation(0)
+
+    def test_check_conservation_rejects_overdrawn_balance(self, fastswap):
+        fastswap.stats.offloaded_pages = 10
+        fastswap.stats.recalled_pages = 20
+        with pytest.raises(MemoryError_):
+            fastswap.stats.check_conservation(0)
+
+    def test_check_conservation_rejects_pool_mismatch(self, fastswap):
+        fastswap.stats.offloaded_pages = 10
+        with pytest.raises(MemoryError_):
+            fastswap.stats.check_conservation(0)
+
+
 class TestAttachment:
     def test_freeing_remote_region_releases_pool(self, engine, cgroup, fastswap):
         fastswap.attach(cgroup)
