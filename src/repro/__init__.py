@@ -22,6 +22,7 @@ Quickstart::
 from repro.baselines import DamonPolicy, NoOffloadPolicy, TmoPolicy
 from repro.core import FaaSMemConfig, FaaSMemPolicy
 from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec, RecoveryConfig
 from repro.traces import generate_azure_like, sample_function_trace
 from repro.workloads import all_benchmarks, get_profile
 
@@ -35,6 +36,10 @@ __all__ = [
     "DamonPolicy",
     "ServerlessPlatform",
     "PlatformConfig",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "RecoveryConfig",
     "get_profile",
     "all_benchmarks",
     "sample_function_trace",

@@ -34,6 +34,7 @@ _QUICK_KWARGS = {
     "pressure": {"duration": 900.0},
     "node": {"duration": 1200.0, "n_functions": 40, "max_functions": 25},
     "replication": {"duration": 600.0, "seeds": (1, 2, 3)},
+    "chaos": {"duration": 600.0, "intensities": (0.0, 2.0)},
 }
 
 
@@ -61,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit",
         action="store_true",
         help="trace + audit invariants online; non-zero exit on violations",
+    )
+    runner.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help=(
+            "inject a deterministic fault schedule into every platform, "
+            "e.g. --faults 'seed=7,intensity=2' or a bare intensity "
+            "number (see repro.faults.FaultSpec.parse)"
+        ),
     )
     tracer = sub.add_parser(
         "trace", help="run one experiment with event tracing and export the stream"
@@ -168,6 +178,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         obs.reset_sessions()
         obs.enable(trace=True, audit=True)
+    faults_spec = getattr(args, "faults", None)
+    if faults_spec:
+        from repro.faults import FaultSpec
+        from repro.faults import runtime as faults_runtime
+
+        faults_runtime.install(FaultSpec.parse(faults_spec))
     try:
         if args.experiment == "all":
             for name in list_experiments():
@@ -176,6 +192,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             _run_one(args.experiment, args.quick, args.json, plot=args.plot)
     finally:
+        if faults_spec:
+            from repro.faults import runtime as faults_runtime
+
+            faults_runtime.clear()
         if args.audit:
             from repro.obs import runtime as obs
 

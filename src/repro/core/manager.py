@@ -208,6 +208,11 @@ class FaaSMemPolicy(OffloadPolicy):
 
     def _offload_pucket(self, container, ctl: _ContainerCtl, pucket) -> None:
         assert ctl.state is not None
+        if self.platform.fastswap.suspended:
+            # Local-only fallback while the link is unhealthy: leave
+            # the candidates in place for a later cycle instead of
+            # moving them to the offloaded ledger with no write-out.
+            return
         victims = ctl.state.offload_candidates(pucket)
         if not victims:
             return

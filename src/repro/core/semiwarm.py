@@ -106,6 +106,11 @@ class SemiWarmController:
         if not self.container.warm:
             self.cancel()
             return
+        if self.platform.fastswap.suspended:
+            # Circuit breaker open / link down: local-only fallback.
+            # Keep the episode (and the tick) alive so draining
+            # resumes once the breaker re-closes.
+            return
         budget = self._tick_budget_pages()
         if budget <= 0:
             return

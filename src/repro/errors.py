@@ -51,6 +51,10 @@ class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
 
 
+class FaultError(ReproError):
+    """Raised when a fault specification or schedule is invalid."""
+
+
 class AuditError(ReproError):
     """Raised when the invariant auditor finds (or is asked to assert
     the absence of) conservation-law violations."""

@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    chaos,
     cluster_density,
     fig11_semiwarm_overview,
     node_mixed,
@@ -42,6 +43,7 @@ _REGISTRY: Dict[str, Callable] = {
     "fig15": fig15_overhead.run,
     "fig16": fig16_density.run,
     # Beyond the paper's figures:
+    "chaos": chaos.run,
     "cluster": cluster_density.run,
     "pressure": pressure.run,
     "node": node_mixed.run,

@@ -79,15 +79,26 @@ class Container:
         )
         self._heartbeat: Optional[PeriodicTask] = None
 
+        # In-flight request bookkeeping, needed so a crash can cancel
+        # the pending completion and re-dispatch the victim.
+        self._inflight: Optional[Invocation] = None
+        self._exec_event = None
+        self._stage_event = None
+
         platform.policy.on_container_created(self)
-        self.engine.schedule(
+        self._stage_event = self.engine.schedule(
             self.profile.runtime.launch_time_s,
             self._finish_launch,
             name=f"launch:{container_id}",
         )
 
-    def _transition(self, new_state: ContainerState) -> None:
-        """Move to ``new_state``, tracing the lifecycle edge."""
+    def _transition(self, new_state: ContainerState, **data) -> None:
+        """Move to ``new_state``, tracing the lifecycle edge.
+
+        Extra ``data`` fields ride along on the trace event (e.g.
+        ``crash=True`` marks a fault-injected teardown, which the
+        auditor exempts from the normal lifecycle DAG).
+        """
         old = self.state.value if self.state is not None else ""
         self.state = new_state
         tracer = self.platform.tracer
@@ -95,7 +106,7 @@ class Container:
             tracer.emit(
                 EventKind.CONTAINER_STATE,
                 self.container_id,
-                **{"from": old, "to": new_state.value},
+                **{"from": old, "to": new_state.value, **data},
             )
 
     # ------------------------------------------------------------------
@@ -104,6 +115,9 @@ class Container:
 
     def _finish_launch(self) -> None:
         """Runtime image loaded: allocate (or share) the runtime segment."""
+        self._stage_event = None
+        if self.state is ContainerState.RECLAIMED:
+            return  # crashed mid-launch
         if self.platform.config.share_runtime:
             self._shared_runtime = self.platform.runtime_shares.acquire(
                 self.function.name, self.profile.runtime
@@ -138,7 +152,7 @@ class Container:
                 Segment.INIT,
                 pages_from_mib(self.profile.init_transient_mib),
             )
-        self.engine.schedule(
+        self._stage_event = self.engine.schedule(
             self.profile.init_time_s,
             self._finish_init,
             name=f"init:{self.container_id}",
@@ -146,6 +160,9 @@ class Container:
 
     def _finish_init(self) -> None:
         """Function initialization done: container becomes warm."""
+        self._stage_event = None
+        if self.state is ContainerState.RECLAIMED:
+            return  # crashed mid-init
         if self._init_transient is not None:
             self.cgroup.free(self._init_transient)
             self._init_transient = None
@@ -204,7 +221,8 @@ class Container:
         )
         service = self.profile.sample_exec_time(self.rng) + stall
         start = self.engine.now
-        self.engine.schedule(
+        self._inflight = invocation
+        self._exec_event = self.engine.schedule(
             service,
             lambda: self._complete(invocation, start, stall, recalled_pages),
             name=f"exec:{self.container_id}",
@@ -269,6 +287,8 @@ class Container:
         if self._exec_region is not None:
             self.cgroup.free(self._exec_region)
             self._exec_region = None
+        self._inflight = None
+        self._exec_event = None
         self.requests_served += 1
         record = RequestRecord(
             function=self.function.name,
@@ -280,6 +300,7 @@ class Container:
             cold_start=invocation.cold,
             fault_stall_s=stall,
             recalled_pages=recalled_pages,
+            restarts=invocation.restarts,
         )
         self.platform.record(record)
         self.platform.policy.on_request_complete(self, record)
@@ -352,6 +373,43 @@ class Container:
             self.platform.runtime_shares.release(self.function.name)
             self._shared_runtime = None
         self.platform.controller.forget(self)
+
+    def crash(self, reason: str = "injected") -> List[Invocation]:
+        """Kill the container immediately, from any state.
+
+        Unlike :meth:`reclaim`, a crash may hit a busy container: the
+        in-flight request's completion event is cancelled and the
+        orphaned invocations (in-flight plus queued) are returned for
+        the caller — the fault injector — to re-dispatch. All memory
+        is freed; the lifecycle event carries ``crash=True`` so the
+        auditor can tell an injected teardown from a graceful one.
+        """
+        if self.state is ContainerState.RECLAIMED:
+            return []
+        orphans: List[Invocation] = []
+        if self._inflight is not None:
+            orphans.append(self._inflight)
+            self._inflight = None
+        orphans.extend(self.pending)
+        self.pending.clear()
+        if self._exec_event is not None:
+            self._exec_event.cancel()
+            self._exec_event = None
+        if self._stage_event is not None:
+            self._stage_event.cancel()
+            self._stage_event = None
+        self._keep_alive.cancel()
+        self._stop_heartbeat()
+        self.platform.policy.on_container_reclaimed(self)
+        self._transition(ContainerState.RECLAIMED, crash=True, reason=reason)
+        self.reclaimed_at = self.engine.now
+        self._exec_region = None  # freed with everything else below
+        self.cgroup.free_all()
+        if self._shared_runtime is not None:
+            self.platform.runtime_shares.release(self.function.name)
+            self._shared_runtime = None
+        self.platform.controller.forget(self)
+        return orphans
 
     # ------------------------------------------------------------------
     # Introspection

@@ -67,6 +67,13 @@ class PlatformConfig:
     trace_events: bool = False
     audit_events: bool = False
     trace_capacity: int = 1 << 16
+    # Deterministic fault injection (repro.faults): a FaultSpec (one
+    # concrete schedule is drawn from it) or a ready FaultSchedule.
+    # None falls back to the process-wide default installed via
+    # repro.faults.runtime (the CLI --faults flag); with neither set,
+    # no injector is constructed at all and the datapath stays on its
+    # zero-cost ``injector is None`` path.
+    faults: Optional[object] = None
 
 
 @dataclass
@@ -145,6 +152,21 @@ class ServerlessPlatform:
         from repro.faas.sharing import SharedRuntimeRegistry
 
         self.runtime_shares = SharedRuntimeRegistry(self)
+        # Fault injection: an explicit config value wins over the
+        # process-wide default (lazy imports keep repro.faas loadable
+        # without repro.faults and avoid an import cycle).
+        self.fault_injector = None
+        faults = self.config.faults
+        if faults is None:
+            from repro.faults import runtime as faults_runtime
+
+            faults = faults_runtime.default_faults()
+        if faults is not None:
+            from repro.faults import FaultInjector, FaultSchedule, FaultSpec
+
+            if isinstance(faults, FaultSpec):
+                faults = FaultSchedule.from_spec(faults)
+            self.fault_injector = FaultInjector(self, faults).attach()
         self.policy = policy
         self._functions: Dict[str, FunctionSpec] = {}
         self.records: List[RequestRecord] = []

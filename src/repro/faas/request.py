@@ -23,6 +23,10 @@ class Invocation:
     invocation_id: int = field(default_factory=lambda: next(_INVOCATION_IDS))
     # Set by the controller when this invocation forces a new container.
     cold: bool = False
+    # Times this invocation was re-dispatched after its container
+    # crashed (repro.faults); the restart penalty shows up in latency
+    # because arrival never changes.
+    restarts: int = 0
 
 
 @dataclass
@@ -38,6 +42,8 @@ class RequestRecord:
     cold_start: bool
     fault_stall_s: float = 0.0
     recalled_pages: int = 0
+    # Container crashes survived before completion (repro.faults).
+    restarts: int = 0
 
     @property
     def latency(self) -> float:

@@ -1,0 +1,44 @@
+"""Deterministic fault injection and failure recovery.
+
+The memory pool and its interconnect are separately-failing
+components; this package models that failure domain. A seeded
+:class:`FaultSpec` expands into one concrete :class:`FaultSchedule`
+(link outage/degradation windows, pool-node crashes, container
+crashes, page-in loss), which a :class:`FaultInjector` drives against
+a platform via ordinary engine events. Recovery lives in the layers
+it protects: page-in retry with exponential backoff in
+:mod:`repro.pool.fastswap`, a :class:`CircuitBreaker` that suspends
+offloading while the link is unhealthy, and cold-restart of
+containers whose remote pages were lost.
+
+An empty schedule is a provable no-op: byte-identical trace digests
+with or without the injector attached.
+"""
+
+from repro.faults.breaker import CircuitBreaker, RecoveryConfig
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.spec import (
+    CONTAINER_CRASH,
+    LINK_DEGRADED,
+    LINK_DOWN,
+    POOL_CRASH,
+    FaultSchedule,
+    FaultSpec,
+    FaultWindow,
+    PointFault,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "RecoveryConfig",
+    "FaultInjector",
+    "FaultStats",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultWindow",
+    "PointFault",
+    "LINK_DOWN",
+    "LINK_DEGRADED",
+    "POOL_CRASH",
+    "CONTAINER_CRASH",
+]

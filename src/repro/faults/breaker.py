@@ -1,0 +1,142 @@
+"""Recovery knobs and the offload-path circuit breaker.
+
+The breaker is the standard three-state machine (closed -> open ->
+half-open -> closed) guarding the offload datapath: while it is open,
+policies stop issuing Pucket/semi-warm offloads and the node falls
+back to local-only operation. It opens immediately on an injected
+link fault ("fail fast") or after ``failure_threshold`` consecutive
+page-in failures; after ``cooldown_s`` it admits probes (half-open),
+and ``success_threshold`` consecutive healthy probes re-close it —
+the hysteresis that keeps a flapping link from thrashing the
+offloading machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.trace import EventKind
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class RecoveryConfig:
+    """Retry, backoff and circuit-breaker parameters.
+
+    The page-in retry loop charges ``page_in_timeout_s`` for every
+    failed attempt (the time spent waiting for a completion that
+    never comes) plus an exponential backoff of
+    ``min(backoff_base_s * 2**attempt, backoff_max_s)`` before
+    re-issuing; after ``max_retries`` failed attempts the transfer is
+    forced through (the datapath never wedges permanently — fault
+    windows are finite).
+    """
+
+    page_in_timeout_s: float = 0.05
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    max_retries: int = 8
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+    success_threshold: int = 2
+    probe_interval_s: float = 10.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.backoff_base_s * (2.0 ** attempt), self.backoff_max_s)
+
+
+class CircuitBreaker:
+    """Hysteretic health gate on the offload path."""
+
+    def __init__(
+        self,
+        config: RecoveryConfig,
+        clock: Callable[[], float],
+        tracer=None,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self.tracer = tracer
+        self.state = CLOSED
+        self.opens = 0
+        self.reclosures = 0
+        self._failures = 0
+        self._successes = 0
+        self._last_failure_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """Whether offloads may be issued now.
+
+        Reading the gate after the cooldown expires moves an open
+        breaker to half-open (probe admission), as in conventional
+        breaker implementations.
+        """
+        if self.state == OPEN:
+            last = self._last_failure_at if self._last_failure_at is not None else now
+            if now - last >= self.config.cooldown_s:
+                self._to(HALF_OPEN, reason="cooldown")
+        return self.state != OPEN
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+
+    def trip(self, now: float, reason: str) -> None:
+        """Force the breaker open (an injected link fault: fail fast)."""
+        self._last_failure_at = now
+        if self.state != OPEN:
+            self._to(OPEN, reason=reason)
+
+    def record_failure(self, now: float) -> None:
+        """One failed page-in attempt."""
+        self._last_failure_at = now
+        if self.state == HALF_OPEN:
+            self._to(OPEN, reason="probe-failed")
+        elif self.state == CLOSED:
+            self._failures += 1
+            if self._failures >= self.config.failure_threshold:
+                self._to(OPEN, reason="failure-threshold")
+
+    def record_success(self, now: float) -> None:
+        """One healthy page-in or probe."""
+        if self.state == HALF_OPEN:
+            self._successes += 1
+            if self._successes >= self.config.success_threshold:
+                self._to(CLOSED, reason="recovered")
+        elif self.state == CLOSED:
+            self._failures = 0
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def _to(self, new_state: str, reason: str) -> None:
+        old = self.state
+        self.state = new_state
+        self._failures = 0
+        self._successes = 0
+        if new_state == OPEN:
+            self.opens += 1
+        elif new_state == CLOSED:
+            self.reclosures += 1
+        if self.tracer is not None:
+            kind = {
+                OPEN: EventKind.BREAKER_OPEN,
+                HALF_OPEN: EventKind.BREAKER_HALF_OPEN,
+                CLOSED: EventKind.BREAKER_CLOSE,
+            }[new_state]
+            self.tracer.emit(
+                kind, "offload-breaker", **{"from": old, "reason": reason}
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state}, opens={self.opens})"

@@ -1,0 +1,34 @@
+"""Process-wide default fault spec (mirrors :mod:`repro.obs.runtime`).
+
+Experiment harnesses construct their platforms internally, so the CLI
+``--faults`` flag cannot reach them through arguments. Instead it
+installs a process-wide default here; every subsequently-constructed
+:class:`~repro.faas.platform.ServerlessPlatform` whose config carries
+no explicit ``faults`` picks it up. ``clear()`` restores the zero-cost
+default (no injector at all).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.faults.spec import FaultSchedule, FaultSpec
+
+_DEFAULT: Optional[Union[FaultSpec, FaultSchedule]] = None
+
+
+def install(faults: Union[FaultSpec, FaultSchedule]) -> None:
+    """Set the default fault spec/schedule for new platforms."""
+    global _DEFAULT
+    _DEFAULT = faults
+
+
+def clear() -> None:
+    """Remove the default; new platforms run fault-free."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def default_faults() -> Optional[Union[FaultSpec, FaultSchedule]]:
+    """The currently-installed default, or None."""
+    return _DEFAULT

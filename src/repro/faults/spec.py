@@ -1,0 +1,280 @@
+"""Deterministic fault specifications and concrete schedules.
+
+A :class:`FaultSpec` describes fault *rates* (how often the link
+degrades, how often the pool node crashes, ...); expanding it with
+:meth:`FaultSchedule.from_spec` draws one concrete, fully-determined
+schedule from a dedicated seeded generator. The same spec always
+yields the same schedule, independent of anything else the simulation
+draws — which is what makes chaos runs replayable and diffable.
+
+An empty schedule is the documented no-op: the injector schedules no
+engine events, draws no random numbers, and perturbs no floating-point
+arithmetic (see ``tests/test_fault_differential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultError
+
+# Fault kinds a schedule may contain.
+LINK_DOWN = "link_down"
+LINK_DEGRADED = "link_degraded"
+POOL_CRASH = "pool_crash"
+CONTAINER_CRASH = "container_crash"
+
+_WINDOW_KINDS = (LINK_DOWN, LINK_DEGRADED)
+_POINT_KINDS = (POOL_CRASH, CONTAINER_CRASH)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A closed-open ``[start, end)`` interval of link unhealth."""
+
+    kind: str  # LINK_DOWN or LINK_DEGRADED
+    start: float
+    end: float
+    # Effective-bandwidth multiplier while degraded (ignored for
+    # outages, where the link carries nothing at all).
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WINDOW_KINDS:
+            raise FaultError(f"unknown window kind {self.kind!r}")
+        if not self.end > self.start >= 0.0:
+            raise FaultError(f"window must satisfy 0 <= start < end, got "
+                             f"[{self.start}, {self.end})")
+        if not 0.0 < self.factor <= 1.0:
+            raise FaultError(f"degrade factor must be in (0, 1], got {self.factor}")
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class PointFault:
+    """An instantaneous fault: a crash at one simulated instant."""
+
+    kind: str  # POOL_CRASH or CONTAINER_CRASH
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POINT_KINDS:
+            raise FaultError(f"unknown point-fault kind {self.kind!r}")
+        if self.at < 0.0:
+            raise FaultError(f"point fault scheduled in the past: {self.at}")
+
+
+@dataclass
+class FaultSpec:
+    """Seeded fault-rate description, expandable into one schedule.
+
+    Rates are per hour of simulated time and all scale linearly with
+    ``intensity`` (``intensity=0`` yields an empty schedule). Parsed
+    from the CLI ``--faults`` flag as comma-separated ``key=value``
+    pairs; a bare number is shorthand for ``intensity=<number>``.
+    """
+
+    seed: int = 1
+    horizon_s: float = 3600.0
+    intensity: float = 1.0
+    link_outage_rate_per_h: float = 2.0
+    link_outage_duration_s: float = 20.0
+    link_degrade_rate_per_h: float = 4.0
+    link_degrade_duration_s: float = 60.0
+    link_degrade_factor: float = 0.25
+    pool_crash_rate_per_h: float = 0.5
+    container_crash_rate_per_h: float = 1.0
+    # Probability that a page-in attempted inside a degraded window is
+    # lost on the wire and must be retried (scaled by intensity,
+    # capped below 1 so retries terminate probabilistically and hard-
+    # capped by RecoveryConfig.max_retries regardless).
+    page_in_loss_prob: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.intensity < 0:
+            raise FaultError(f"intensity must be non-negative, got {self.intensity}")
+        if self.horizon_s <= 0:
+            raise FaultError(f"horizon must be positive, got {self.horizon_s}")
+        for name in ("link_outage_rate_per_h", "link_degrade_rate_per_h",
+                     "pool_crash_rate_per_h", "container_crash_rate_per_h"):
+            if getattr(self, name) < 0:
+                raise FaultError(f"{name} must be non-negative")
+        if not 0.0 <= self.page_in_loss_prob < 1.0:
+            raise FaultError(
+                f"page_in_loss_prob must be in [0, 1), got {self.page_in_loss_prob}"
+            )
+        if not 0.0 < self.link_degrade_factor <= 1.0:
+            raise FaultError(
+                f"link_degrade_factor must be in (0, 1], got {self.link_degrade_factor}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a CLI spec string, e.g. ``"intensity=2,seed=9"`` or ``"1.5"``."""
+        kwargs = {}
+        valid = {f.name for f in fields(cls)}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                key, raw = "intensity", part
+            else:
+                key, _, raw = part.partition("=")
+                key = key.strip()
+            if key not in valid:
+                known = ", ".join(sorted(valid))
+                raise FaultError(f"unknown fault-spec key {key!r}; known: {known}")
+            try:
+                kwargs[key] = int(raw) if key == "seed" else float(raw)
+            except ValueError:
+                raise FaultError(f"bad value for {key!r}: {raw!r}") from None
+        return cls(**kwargs)
+
+    @property
+    def effective_loss_prob(self) -> float:
+        return min(0.95, self.page_in_loss_prob * self.intensity)
+
+
+class FaultSchedule:
+    """A concrete, fully-determined set of faults for one run.
+
+    Windows are non-overlapping and sorted by start time; point faults
+    are sorted by time. ``FaultSchedule()`` is the canonical empty
+    schedule (a provable no-op when attached).
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[FaultWindow] = (),
+        points: Sequence[PointFault] = (),
+        page_in_loss_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.windows: Tuple[FaultWindow, ...] = tuple(
+            sorted(windows, key=lambda w: (w.start, w.end))
+        )
+        self.points: Tuple[PointFault, ...] = tuple(
+            sorted(points, key=lambda p: (p.at, p.kind))
+        )
+        for prev, cur in zip(self.windows, self.windows[1:]):
+            if cur.start < prev.end:
+                raise FaultError(
+                    f"overlapping fault windows: [{prev.start}, {prev.end}) "
+                    f"and [{cur.start}, {cur.end})"
+                )
+        if not 0.0 <= page_in_loss_prob < 1.0:
+            raise FaultError(
+                f"page_in_loss_prob must be in [0, 1), got {page_in_loss_prob}"
+            )
+        self.page_in_loss_prob = float(page_in_loss_prob)
+        self.seed = int(seed)
+
+    @property
+    def empty(self) -> bool:
+        """Whether attaching this schedule is a guaranteed no-op."""
+        return not self.windows and not self.points and self.page_in_loss_prob == 0.0
+
+    @classmethod
+    def from_spec(cls, spec: FaultSpec) -> "FaultSchedule":
+        """Expand a spec into one concrete schedule, deterministically.
+
+        Faults arrive as a merged Poisson process over the four kinds;
+        window faults occupy ``[t, t + duration)`` and push the clock
+        past their end so link windows never overlap.
+        """
+        rates = [
+            (LINK_DOWN, spec.link_outage_rate_per_h * spec.intensity / 3600.0),
+            (LINK_DEGRADED, spec.link_degrade_rate_per_h * spec.intensity / 3600.0),
+            (POOL_CRASH, spec.pool_crash_rate_per_h * spec.intensity / 3600.0),
+            (CONTAINER_CRASH, spec.container_crash_rate_per_h * spec.intensity / 3600.0),
+        ]
+        total = sum(rate for _, rate in rates)
+        loss = spec.effective_loss_prob if spec.intensity > 0 else 0.0
+        if total <= 0.0:
+            return cls(page_in_loss_prob=loss, seed=spec.seed)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([int(spec.seed) % (2**63), 0xFA017])
+        )
+        windows: List[FaultWindow] = []
+        points: List[PointFault] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / total))
+            if t >= spec.horizon_s:
+                break
+            draw = float(rng.random()) * total
+            cumulative = 0.0
+            kind = rates[-1][0]
+            for name, rate in rates:
+                cumulative += rate
+                if draw < cumulative:
+                    kind = name
+                    break
+            if kind == LINK_DOWN:
+                window = FaultWindow(LINK_DOWN, t, t + spec.link_outage_duration_s)
+                windows.append(window)
+                t = window.end
+            elif kind == LINK_DEGRADED:
+                window = FaultWindow(
+                    LINK_DEGRADED,
+                    t,
+                    t + spec.link_degrade_duration_s,
+                    factor=spec.link_degrade_factor,
+                )
+                windows.append(window)
+                t = window.end
+            else:
+                points.append(PointFault(kind, t))
+        return cls(windows=windows, points=points, page_in_loss_prob=loss,
+                   seed=spec.seed)
+
+    # ------------------------------------------------------------------
+    # Queries (used by the injector and the retry loop)
+    # ------------------------------------------------------------------
+
+    def link_up_at(self, t: float) -> bool:
+        """Whether the link carries traffic at all at time ``t``."""
+        return self._window_at(t, LINK_DOWN) is None
+
+    def lossy_at(self, t: float) -> bool:
+        """Whether page-ins at ``t`` are subject to loss draws."""
+        return (
+            self.page_in_loss_prob > 0.0
+            and self._window_at(t, LINK_DEGRADED) is not None
+        )
+
+    def healthy_at(self, t: float) -> bool:
+        """Whether ``t`` lies outside every fault window."""
+        return (
+            self._window_at(t, LINK_DOWN) is None
+            and self._window_at(t, LINK_DEGRADED) is None
+        )
+
+    def degrade_factor_at(self, t: float) -> float:
+        window = self._window_at(t, LINK_DEGRADED)
+        return window.factor if window is not None else 1.0
+
+    def next_link_up(self, t: float) -> float:
+        """Earliest time >= ``t`` at which the link carries traffic."""
+        window = self._window_at(t, LINK_DOWN)
+        return window.end if window is not None else t
+
+    def _window_at(self, t: float, kind: str) -> FaultWindow | None:
+        for window in self.windows:
+            if window.start > t:
+                break
+            if window.kind == kind and window.contains(t):
+                return window
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultSchedule(windows={len(self.windows)}, "
+            f"points={len(self.points)}, loss={self.page_in_loss_prob})"
+        )

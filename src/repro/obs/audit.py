@@ -8,14 +8,19 @@ conservation law breaks:
   exactly one of {inactive, hot pool, offloaded} at any instant, and
   every promotion/demotion departs from the state the ledger has it in.
 * **Swap conservation** — cumulatively,
-  ``offloaded == recalled + remote-resident + freed-while-remote``;
-  no component ever goes negative, and at the end of a run the
-  remote-resident balance equals the pool's used pages.
+  ``offloaded == recalled + remote-resident + freed-while-remote +
+  lost-in-pool-crash``; no component ever goes negative, and at the
+  end of a run the remote-resident balance equals the pool's used
+  pages.
 * **Time-barrier monotonicity** — Pucket barriers (MGLRU generation
   seals) of one cgroup carry non-decreasing timestamps.
 * **Lifecycle legality** — container state transitions follow the
   legal DAG (launching → initializing → idle ⇄ busy, any non-busy
-  state → reclaimed, nothing leaves reclaimed).
+  state → reclaimed, nothing leaves reclaimed); only transitions
+  flagged ``crash=True`` by the fault injector may reclaim from any
+  live state.
+* **Breaker legality** — the offload circuit breaker walks
+  closed → open → half-open → {open, closed} and nothing else.
 * **Link subscription** — same-direction transfers never overlap
   (FCFS) and never beat the wire: a transfer of ``n`` pages takes at
   least ``n * PAGE_SIZE / capacity`` seconds.
@@ -74,12 +79,13 @@ class _SwapLedger:
     offloaded: int = 0
     recalled: int = 0
     remote_freed: int = 0
+    remote_lost: int = 0
     aborted: int = 0
     in_flight: int = 0
 
     @property
     def remote_resident(self) -> int:
-        return self.offloaded - self.recalled - self.remote_freed
+        return self.offloaded - self.recalled - self.remote_freed - self.remote_lost
 
 
 class InvariantAuditor:
@@ -94,6 +100,7 @@ class InvariantAuditor:
         # (cgroup, region_id) -> "inactive" | "hot" | "offloaded"
         self._placement: Dict[Tuple[str, int], str] = {}
         self._container_state: Dict[str, str] = {}
+        self._breaker_state: Dict[str, str] = {}
         self._last_barrier: Dict[str, float] = {}
         self._last_engine_time = float("-inf")
         # direction -> (last_start, last_completion)
@@ -155,8 +162,11 @@ class InvariantAuditor:
             event.subject,
             f"transition claims from={src!r} but ledger has {known!r}",
         )
+        # A fault-injected crash may strike from any live state; it is
+        # flagged on the event so only genuine crashes get the bypass.
+        crash = bool(event.data.get("crash")) and dst == "reclaimed" and src != "reclaimed"
         self._check(
-            (src, dst) in _LEGAL_TRANSITIONS,
+            crash or (src, dst) in _LEGAL_TRANSITIONS,
             event.time,
             "container.lifecycle",
             event.subject,
@@ -261,6 +271,10 @@ class InvariantAuditor:
         self.swap.remote_freed += int(event.data["pages"])
         self._check_swap_balance(event)
 
+    def _on_page_lost(self, event: TraceEvent) -> None:
+        self.swap.remote_lost += int(event.data["pages"])
+        self._check_swap_balance(event)
+
     def _check_swap_balance(self, event: TraceEvent) -> None:
         self._check(
             self.swap.remote_resident >= 0,
@@ -268,8 +282,43 @@ class InvariantAuditor:
             "swap.conservation",
             event.subject,
             f"remote-resident balance went negative: offloaded={self.swap.offloaded} "
-            f"recalled={self.swap.recalled} remote_freed={self.swap.remote_freed}",
+            f"recalled={self.swap.recalled} remote_freed={self.swap.remote_freed} "
+            f"remote_lost={self.swap.remote_lost}",
         )
+
+    # -- circuit breaker -------------------------------------------------
+
+    # Legal source states per breaker event (closed is the implicit
+    # initial state; see repro.faults.breaker).
+    _BREAKER_SOURCES = {
+        EventKind.BREAKER_OPEN.value: {"closed", "half_open"},
+        EventKind.BREAKER_HALF_OPEN.value: {"open"},
+        EventKind.BREAKER_CLOSE.value: {"half_open"},
+    }
+    _BREAKER_TARGETS = {
+        EventKind.BREAKER_OPEN.value: "open",
+        EventKind.BREAKER_HALF_OPEN.value: "half_open",
+        EventKind.BREAKER_CLOSE.value: "closed",
+    }
+
+    def _on_breaker_event(self, event: TraceEvent) -> None:
+        src = str(event.data.get("from", ""))
+        known = self._breaker_state.get(event.subject, "closed")
+        self._check(
+            known == src,
+            event.time,
+            "breaker.lifecycle",
+            event.subject,
+            f"breaker claims from={src!r} but ledger has {known!r}",
+        )
+        self._check(
+            src in self._BREAKER_SOURCES[event.kind],
+            event.time,
+            "breaker.lifecycle",
+            event.subject,
+            f"illegal breaker transition {src!r} -> {self._BREAKER_TARGETS[event.kind]!r}",
+        )
+        self._breaker_state[event.subject] = self._BREAKER_TARGETS[event.kind]
 
     # -- link subscription ----------------------------------------------
 
@@ -312,7 +361,8 @@ class InvariantAuditor:
         now = platform.engine.now
         stats = platform.fastswap.stats
         for counter in ("offloaded_pages", "recalled_pages", "remote_freed_pages",
-                        "aborted_offloads", "offload_ops", "fault_ops"):
+                        "remote_lost_pages", "aborted_offloads",
+                        "suppressed_offloads", "offload_ops", "fault_ops"):
             self._check(
                 getattr(stats, counter) >= 0,
                 now,
@@ -324,6 +374,7 @@ class InvariantAuditor:
             ("offloaded_pages", self.swap.offloaded),
             ("recalled_pages", self.swap.recalled),
             ("remote_freed_pages", self.swap.remote_freed),
+            ("remote_lost_pages", self.swap.remote_lost),
         ):
             self._check(
                 getattr(stats, name) == ledger_value,
@@ -339,7 +390,16 @@ class InvariantAuditor:
             "swap.conservation",
             "fastswap",
             f"conservation identity broken: offloaded - recalled - remote_freed "
-            f"= {stats.remote_resident_pages} but pool holds {platform.pool.used_pages}",
+            f"- remote_lost = {stats.remote_resident_pages} but pool holds "
+            f"{platform.pool.used_pages}",
+        )
+        self._check(
+            stats.remote_lost_pages == platform.pool.lost_pages,
+            now,
+            "swap.conservation",
+            "fastswap",
+            f"SwapStats.remote_lost_pages={stats.remote_lost_pages} disagrees "
+            f"with pool-dropped pages {platform.pool.lost_pages}",
         )
         self._snapshot_policy_states(platform, now)
 
@@ -420,5 +480,9 @@ _HANDLERS = {
     EventKind.OFFLOAD_ABORT.value: InvariantAuditor._on_offload_abort,
     EventKind.RECALL.value: InvariantAuditor._on_recall,
     EventKind.REMOTE_FREED.value: InvariantAuditor._on_remote_freed,
+    EventKind.PAGE_LOST.value: InvariantAuditor._on_page_lost,
     EventKind.LINK_TRANSFER.value: InvariantAuditor._on_link_transfer,
+    EventKind.BREAKER_OPEN.value: InvariantAuditor._on_breaker_event,
+    EventKind.BREAKER_HALF_OPEN.value: InvariantAuditor._on_breaker_event,
+    EventKind.BREAKER_CLOSE.value: InvariantAuditor._on_breaker_event,
 }

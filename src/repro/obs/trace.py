@@ -57,6 +57,18 @@ class EventKind(str, enum.Enum):
     # Interconnect (repro.pool.link)
     LINK_TRANSFER = "link.transfer"
 
+    # Fault injection & recovery (repro.faults)
+    FAULT_INJECTED = "fault.injected"
+    FAULT_CLEARED = "fault.cleared"
+    POOL_CRASH = "fault.pool_crash"
+    PAGE_IN_RETRY = "fault.pagein.retry"
+    PAGE_LOST = "region.page_lost"
+    OFFLOAD_SUPPRESSED = "region.offload.suppressed"
+    CONTAINER_RESTART = "container.restart"
+    BREAKER_OPEN = "breaker.open"
+    BREAKER_HALF_OPEN = "breaker.half_open"
+    BREAKER_CLOSE = "breaker.close"
+
 
 class TraceEvent:
     """One typed trace record.

@@ -14,7 +14,7 @@ Mirrors the two paths the paper ports onto Linux 6.1 (§7):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List
 
 from repro.errors import MemoryError_
 from repro.mem.cgroup import Cgroup
@@ -48,8 +48,11 @@ class SwapStats:
     (:mod:`repro.obs.audit`) checks continuously::
 
         offloaded_pages == recalled_pages + remote_freed_pages
+                           + remote_lost_pages
                            + remote-resident pages (== pool usage)
 
+    ``remote_lost_pages`` counts pages destroyed by injected pool-node
+    crashes (:mod:`repro.faults`); it stays zero in fault-free runs.
     Every counter is monotonically non-decreasing; derived balances
     (:attr:`remote_resident_pages`) must never go negative.
     """
@@ -57,7 +60,9 @@ class SwapStats:
     offloaded_pages: int = 0
     recalled_pages: int = 0
     remote_freed_pages: int = 0
+    remote_lost_pages: int = 0
     aborted_offloads: int = 0
+    suppressed_offloads: int = 0
     offload_ops: int = 0
     fault_ops: int = 0
 
@@ -72,19 +77,26 @@ class SwapStats:
     @property
     def remote_resident_pages(self) -> int:
         """Pages currently parked in the pool, by conservation."""
-        return self.offloaded_pages - self.recalled_pages - self.remote_freed_pages
+        return (
+            self.offloaded_pages
+            - self.recalled_pages
+            - self.remote_freed_pages
+            - self.remote_lost_pages
+        )
 
     def check_conservation(self, pool_used_pages: int) -> None:
         """Raise if the conservation identity does not hold."""
         for name in ("offloaded_pages", "recalled_pages", "remote_freed_pages",
-                     "aborted_offloads", "offload_ops", "fault_ops"):
+                     "remote_lost_pages", "aborted_offloads",
+                     "suppressed_offloads", "offload_ops", "fault_ops"):
             value = getattr(self, name)
             if value < 0:
                 raise MemoryError_(f"SwapStats.{name} went negative: {value}")
         if self.remote_resident_pages < 0:
             raise MemoryError_(
                 f"swap conservation broken: offloaded={self.offloaded_pages} < "
-                f"recalled={self.recalled_pages} + freed={self.remote_freed_pages}"
+                f"recalled={self.recalled_pages} + freed={self.remote_freed_pages} "
+                f"+ lost={self.remote_lost_pages}"
             )
         if self.remote_resident_pages != pool_used_pages:
             raise MemoryError_(
@@ -112,10 +124,37 @@ class Fastswap:
         self._per_cgroup_recalled: Dict[str, int] = {}
         # Optional repro.obs.Tracer; None keeps the datapath untraced.
         self.tracer = None
+        # Optional repro.faults.FaultInjector; None keeps the datapath
+        # fault-free (a single ``is not None`` check per operation).
+        self.injector = None
+        self._cgroups: List[Cgroup] = []
+        # Region ids whose remote pages were destroyed by a pool-node
+        # crash: their pool pages are already accounted in
+        # ``remote_lost_pages``, so later frees/recalls must not
+        # release or transfer them again.
+        self._lost_region_ids: set = set()
 
     def attach(self, cgroup: Cgroup) -> None:
         """Wire a cgroup so freeing remote regions releases pool pages."""
         cgroup.on_remote_freed.append(self._handle_remote_freed)
+        self._cgroups.append(cgroup)
+
+    def attached_cgroups(self) -> List[Cgroup]:
+        """Every cgroup ever attached (pool-crash loss enumeration)."""
+        return list(self._cgroups)
+
+    @property
+    def suspended(self) -> bool:
+        """Whether the offload path is in local-only fallback.
+
+        True while the link is down or the circuit breaker refuses
+        traffic. Policies consult this before picking victims; the
+        datapath additionally suppresses any offload issued while
+        suspended (counted in ``suppressed_offloads``).
+        """
+        if self.injector is None:
+            return False
+        return (not self.link.up) or (not self.injector.breaker.allow(self.engine.now))
 
     # ------------------------------------------------------------------
     # Page-out
@@ -129,6 +168,22 @@ class Fastswap:
         (abort), matching kernel swap semantics.
         """
         completion = self.engine.now
+        if self.suspended:
+            # Local-only fallback: the link is down or the breaker is
+            # open. The regions simply stay local; policy ledgers
+            # reconcile exactly as they do for aborted offloads.
+            for region in regions:
+                if region.freed or region.is_remote:
+                    continue
+                self.stats.suppressed_offloads += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        EventKind.OFFLOAD_SUPPRESSED,
+                        cgroup.name,
+                        region=region.region_id,
+                        pages=region.pages,
+                    )
+            return completion
         for region in regions:
             if region.freed or region.is_remote:
                 continue
@@ -175,6 +230,11 @@ class Fastswap:
             # longer matches the region. Abort rather than account
             # pages that were never transferred.
             reason = "resized"
+        elif region.pages > self.pool.free_pages:
+            # The pool filled up while the write-out was in flight:
+            # the store bounces and the pages stay local, like a
+            # swap-out failing against a full swap device.
+            reason = "pool-full"
         if reason:
             self.stats.aborted_offloads += 1
             if self.tracer is not None:
@@ -219,15 +279,32 @@ class Fastswap:
         """
         if cpu_share <= 0:
             raise MemoryError_(f"cpu_share must be positive, got {cpu_share}")
+        # Fault-injection retry loop: timeouts, backoff and outage
+        # waits accrue before the transfer is issued. With no injector
+        # attached, issue_at is exactly engine.now.
+        retry_stall = 0.0
+        issue_at = self.engine.now
+        if self.injector is not None:
+            retry_stall = self.injector.page_in_penalty(cgroup.name)
+            issue_at = self.engine.now + retry_stall
         total_pages = 0
-        completion = self.engine.now
+        completion = issue_at
         for region in regions:
             if region.freed:
                 raise MemoryError_(f"fault on freed region {region.name!r}")
             if region.is_local:
                 continue
+            if region.region_id in self._lost_region_ids:
+                # The pool lost this page image in a node crash; it is
+                # re-materialized locally (the disk-image re-read a
+                # restarted container performs). Its pool pages are
+                # already accounted in remote_lost_pages, so there is
+                # no transfer and no recall to count.
+                self._lost_region_ids.discard(region.region_id)
+                cgroup.mark_fetched(region)
+                continue
             _, completion = self.link.transfer(
-                self.engine.now, region.pages, LinkDirection.IN
+                issue_at, region.pages, LinkDirection.IN
             )
             self.pool.release(region.pages)
             cgroup.mark_fetched(region)
@@ -241,13 +318,15 @@ class Fastswap:
                     pages=region.pages,
                 )
         if total_pages == 0:
-            return 0.0
+            return retry_stall
         self.stats.recalled_pages += total_pages
         self._per_cgroup_recalled[cgroup.name] = (
             self._per_cgroup_recalled.get(cgroup.name, 0) + total_pages
         )
         wire_stall = max(0.0, completion - self.engine.now)
         cpu_stall = total_pages * self.config.fault_cpu_per_page_s / cpu_share
+        if self.injector is not None:
+            self.injector.note_page_in_success()
         return wire_stall + cpu_stall
 
     # ------------------------------------------------------------------
@@ -255,6 +334,12 @@ class Fastswap:
     # ------------------------------------------------------------------
 
     def _handle_remote_freed(self, region: PageRegion) -> None:
+        if region.region_id in self._lost_region_ids:
+            # The pool pages behind this region were destroyed by a
+            # node crash and already accounted in remote_lost_pages;
+            # there is nothing left to release.
+            self._lost_region_ids.discard(region.region_id)
+            return
         self.pool.release(region.pages)
         self.stats.remote_freed_pages += region.pages
         if self.tracer is not None:
@@ -264,6 +349,34 @@ class Fastswap:
                 region=region.region_id,
                 pages=region.pages,
             )
+
+    def declare_lost(self, cgroup: Cgroup, regions: Iterable[PageRegion]) -> int:
+        """Mark remote regions destroyed by a pool-node crash.
+
+        Returns the number of pages newly declared lost. The caller
+        (the fault injector) drops the same count from the pool, so
+        conservation holds: the pages move from the remote-resident
+        balance into ``remote_lost_pages``.
+        """
+        total = 0
+        for region in regions:
+            if (
+                region.freed
+                or region.is_local
+                or region.region_id in self._lost_region_ids
+            ):
+                continue
+            self._lost_region_ids.add(region.region_id)
+            self.stats.remote_lost_pages += region.pages
+            total += region.pages
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.PAGE_LOST,
+                    cgroup.name,
+                    region=region.region_id,
+                    pages=region.pages,
+                )
+        return total
 
     def offloaded_pages_of(self, cgroup_name: str) -> int:
         return self._per_cgroup_offloaded.get(cgroup_name, 0)

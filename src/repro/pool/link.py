@@ -65,6 +65,12 @@ class Link:
         self.config = config or LinkConfig()
         # Optional repro.obs.Tracer; None keeps transfers untraced.
         self.tracer = None
+        # Fault-injection state (repro.faults). The healthy defaults
+        # are exact no-ops: bandwidth * 1.0 is bit-identical to
+        # bandwidth, so an attached-but-empty fault schedule cannot
+        # perturb any timestamp.
+        self._up = True
+        self._degrade_factor = 1.0
         self._busy_until: Dict[LinkDirection, float] = {
             LinkDirection.OUT: 0.0,
             LinkDirection.IN: 0.0,
@@ -84,7 +90,7 @@ class Link:
         return (
             self.config.base_latency_s
             + pages * self.config.per_page_overhead_s
-            + bytes_moved / self.config.bandwidth_bytes_per_s
+            + bytes_moved / self.effective_bandwidth_bytes_per_s
         )
 
     def transfer(self, now: float, pages: int, direction: LinkDirection) -> Tuple[float, float]:
@@ -106,7 +112,7 @@ class Link:
                     pages=pages,
                     start=start,
                     completion=completion,
-                    capacity=self.config.bandwidth_bytes_per_s,
+                    capacity=self.effective_bandwidth_bytes_per_s,
                 )
         return start, completion
 
@@ -139,3 +145,35 @@ class Link:
     @property
     def capacity_bytes_per_s(self) -> float:
         return self.config.bandwidth_bytes_per_s
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (repro.faults)
+    # ------------------------------------------------------------------
+
+    @property
+    def up(self) -> bool:
+        """Whether the link carries traffic at all."""
+        return self._up
+
+    @property
+    def degrade_factor(self) -> float:
+        return self._degrade_factor
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Configured bandwidth scaled by the current degradation."""
+        return self.config.bandwidth_bytes_per_s * self._degrade_factor
+
+    @property
+    def healthy(self) -> bool:
+        return self._up and self._degrade_factor >= 1.0
+
+    def set_up(self, up: bool) -> None:
+        """Toggle an outage (transfers already reserved keep running)."""
+        self._up = bool(up)
+
+    def set_degradation(self, factor: float) -> None:
+        """Scale effective bandwidth by ``factor`` (1.0 restores it)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degrade factor must be in (0, 1], got {factor}")
+        self._degrade_factor = float(factor)

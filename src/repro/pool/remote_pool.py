@@ -29,6 +29,8 @@ class RemotePool:
         self._clock = clock
         self.capacity_pages = pages_from_mib(capacity_mib)
         self._usage = TimeWeightedAccumulator(start_time=clock(), value=0.0)
+        # Cumulative pages destroyed by pool-node crashes (repro.faults).
+        self.lost_pages = 0
 
     @property
     def used_pages(self) -> int:
@@ -67,6 +69,24 @@ class RemotePool:
                 f"{self.used_pages} stored"
             )
         self._usage.add(self._clock(), -pages)
+
+    def drop(self, pages: int) -> None:
+        """Account ``pages`` destroyed by a pool-node crash.
+
+        Unlike :meth:`release`, dropped pages never travel back over
+        the link; they simply cease to exist. Callers (the fault
+        injector) account them in ``SwapStats.remote_lost_pages`` so
+        swap conservation still balances.
+        """
+        if pages < 0:
+            raise ValueError(f"pages must be non-negative, got {pages}")
+        if pages > self.used_pages:
+            raise ValueError(
+                f"pool {self.name}: dropping {pages} pages but only "
+                f"{self.used_pages} stored"
+            )
+        self._usage.add(self._clock(), -pages)
+        self.lost_pages += pages
 
     def average_pages(self, now: Optional[float] = None) -> float:
         return self._usage.average(now)

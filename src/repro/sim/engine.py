@@ -5,10 +5,43 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import SimulationError
 from repro.obs.trace import EventKind
+
+# Cache of dynamically-created wrapper exception types: one per
+# original exception class, so isinstance checks against both
+# SimulationError and the original type keep working.
+_WRAPPER_TYPES: Dict[type, type] = {}
+
+
+def _wrap_callback_error(exc: Exception, event: "Event", now: float) -> SimulationError:
+    """Wrap an exception escaping an event callback with sim context.
+
+    The wrapper type subclasses both :class:`SimulationError` and the
+    original exception class, so existing ``except CapacityError``
+    handlers still fire while the traceback carries the simulated time
+    and event name. Falls back to a plain :class:`SimulationError`
+    for exception classes that cannot be subclassed or constructed
+    from a single message.
+    """
+    cls = type(exc)
+    wrapper = _WRAPPER_TYPES.get(cls)
+    if wrapper is None:
+        try:
+            wrapper = type(f"Simulation{cls.__name__}", (SimulationError, cls), {})
+        except TypeError:
+            wrapper = SimulationError
+        _WRAPPER_TYPES[cls] = wrapper
+    message = f"event {event.name!r} at t={now:.6f} raised {cls.__name__}: {exc}"
+    try:
+        wrapped = wrapper(message)
+    except Exception:
+        wrapped = SimulationError(message)
+    wrapped.sim_time = now
+    wrapped.event_name = event.name
+    return wrapped
 
 
 @dataclass(order=True)
@@ -86,7 +119,14 @@ class Engine:
         return event
 
     def step(self) -> Optional[Event]:
-        """Execute the next non-cancelled event; return it, or None if drained."""
+        """Execute the next non-cancelled event; return it, or None if drained.
+
+        An exception escaping the callback is re-raised wrapped in a
+        :class:`SimulationError` subtype that also derives from the
+        original exception class, with ``sim_time`` and ``event_name``
+        attached. The failed event is already off the heap, so the
+        queue stays consistent and the engine can keep stepping.
+        """
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
@@ -95,7 +135,12 @@ class Engine:
             self._events_processed += 1
             if self.tracer is not None:
                 self.tracer.emit(EventKind.ENGINE_EVENT, event.name)
-            event.callback()
+            try:
+                event.callback()
+            except SimulationError:
+                raise
+            except Exception as exc:
+                raise _wrap_callback_error(exc, event, self._now) from exc
             return event
         return None
 

@@ -114,6 +114,12 @@ def lists(element: Strategy, *, min_size: int = 0, max_size: int = 10) -> Strate
     return Strategy(sampler)
 
 
+def tuples(*strategies: Strategy) -> Strategy:
+    """Fixed-shape tuple: one element drawn from each strategy."""
+    strategies = tuple(_ensure_strategy(s) for s in strategies)
+    return Strategy(lambda rng: tuple(s.sample(rng) for s in strategies))
+
+
 def builds(func: Callable[..., Any], *strategies: Strategy) -> Strategy:
     strategies = tuple(_ensure_strategy(s) for s in strategies)
 

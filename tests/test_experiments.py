@@ -36,7 +36,7 @@ class TestRegistry:
             "fig16",
         }
         paper_artifacts.add("fig11")  # design-overview figure
-        extensions = {"cluster", "replication", "pressure", "node"}
+        extensions = {"cluster", "replication", "pressure", "node", "chaos"}
         assert set(list_experiments()) == paper_artifacts | extensions
 
     def test_unknown_rejected(self):

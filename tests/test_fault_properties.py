@@ -1,0 +1,97 @@
+"""Property tests: the auditor stays clean under random fault schedules.
+
+Uses the in-repo deterministic property harness (tests/proptest.py).
+The headline property runs a full seeded platform simulation per
+example — 200 examples, each with a different fault seed/intensity —
+and requires the online invariant auditor to stay clean, every request
+to be served, and swap conservation (including the lost-page term) to
+hold at the end.
+"""
+
+from __future__ import annotations
+
+from repro.core import FaaSMemPolicy
+from repro.experiments.common import make_reuse_priors
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.faults import FaultSchedule, FaultSpec
+from repro.traces.azure import sample_function_trace
+from repro.workloads import get_profile
+
+from tests.proptest import floats, given, integers, settings, tuples
+
+_DURATION = 150.0
+_TRACE = sample_function_trace("high", duration=_DURATION, seed=23)
+_PROFILE = get_profile("web")
+_PRIORS = make_reuse_priors(_TRACE, "web", exec_time_s=_PROFILE.exec_time_s)
+
+
+def _spec(fault_seed: int, intensity: float) -> FaultSpec:
+    # High rates so short horizons still carry faults at intensity ~1.
+    return FaultSpec(
+        seed=fault_seed,
+        horizon_s=_DURATION,
+        intensity=intensity,
+        link_outage_rate_per_h=40.0,
+        link_outage_duration_s=15.0,
+        link_degrade_rate_per_h=60.0,
+        link_degrade_duration_s=30.0,
+        pool_crash_rate_per_h=25.0,
+        container_crash_rate_per_h=40.0,
+        page_in_loss_prob=0.3,
+    )
+
+
+@settings(max_examples=200)
+@given(
+    tuples(
+        integers(min_value=0, max_value=10_000),
+        floats(min_value=0.0, max_value=3.0),
+        integers(min_value=1, max_value=4),
+    )
+)
+def test_auditor_clean_under_random_fault_schedules(params):
+    fault_seed, intensity, platform_seed = params
+    platform = ServerlessPlatform(
+        FaaSMemPolicy(reuse_priors=_PRIORS),
+        config=PlatformConfig(
+            seed=platform_seed,
+            audit_events=True,
+            faults=_spec(fault_seed, intensity),
+        ),
+    )
+    platform.register_function("web", _PROFILE)
+    platform.run_trace((t, "web") for t in _TRACE.timestamps)
+    assert platform.auditor is not None
+    assert platform.auditor.clean, platform.auditor.report()
+    assert len(platform.records) == _TRACE.count
+    stats = platform.fastswap.stats
+    stats.check_conservation(platform.pool.used_pages)
+    assert stats.remote_lost_pages == platform.pool.lost_pages
+    # Faults are transient: the link always heals by the end of a run
+    # (windows are finite and within the horizon).
+    assert platform.link.up
+    assert platform.link.degrade_factor == 1.0
+
+
+@settings(max_examples=200)
+@given(
+    tuples(
+        integers(min_value=0, max_value=100_000),
+        floats(min_value=0.0, max_value=10.0),
+    )
+)
+def test_schedule_expansion_wellformed(params):
+    seed, intensity = params
+    spec = _spec(seed, intensity)
+    schedule = FaultSchedule.from_spec(spec)
+    again = FaultSchedule.from_spec(spec)
+    assert schedule.windows == again.windows  # replayable
+    assert schedule.points == again.points
+    for prev, cur in zip(schedule.windows, schedule.windows[1:]):
+        assert cur.start >= prev.end  # non-overlapping
+    for window in schedule.windows:
+        assert 0.0 <= window.start < window.end
+    for point in schedule.points:
+        assert 0.0 <= point.at < spec.horizon_s
+    if intensity == 0.0:
+        assert schedule.empty

@@ -1,0 +1,214 @@
+"""Unit tests for the fault-injection package (repro.faults)."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    CONTAINER_CRASH,
+    LINK_DEGRADED,
+    LINK_DOWN,
+    POOL_CRASH,
+    CircuitBreaker,
+    FaultSchedule,
+    FaultSpec,
+    FaultWindow,
+    PointFault,
+    RecoveryConfig,
+)
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class TestFaultSpec:
+    def test_parse_key_values(self):
+        spec = FaultSpec.parse("seed=9,intensity=2,pool_crash_rate_per_h=3.5")
+        assert spec.seed == 9
+        assert spec.intensity == 2.0
+        assert spec.pool_crash_rate_per_h == 3.5
+
+    def test_parse_bare_number_is_intensity(self):
+        assert FaultSpec.parse("1.5").intensity == 1.5
+
+    def test_parse_unknown_key_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault-spec key"):
+            FaultSpec.parse("bogus=1")
+
+    def test_parse_bad_value_rejected(self):
+        with pytest.raises(FaultError, match="bad value"):
+            FaultSpec.parse("intensity=lots")
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(intensity=-0.5)
+
+    def test_loss_prob_must_stay_below_one(self):
+        with pytest.raises(FaultError):
+            FaultSpec(page_in_loss_prob=1.0)
+
+    def test_effective_loss_prob_scales_and_caps(self):
+        assert FaultSpec(page_in_loss_prob=0.2, intensity=2.0).effective_loss_prob == pytest.approx(0.4)
+        assert FaultSpec(page_in_loss_prob=0.5, intensity=10.0).effective_loss_prob == 0.95
+
+
+class TestFaultWindow:
+    def test_validates_interval(self):
+        with pytest.raises(FaultError):
+            FaultWindow(LINK_DOWN, 5.0, 5.0)
+        with pytest.raises(FaultError):
+            FaultWindow(LINK_DOWN, -1.0, 5.0)
+
+    def test_validates_kind_and_factor(self):
+        with pytest.raises(FaultError):
+            FaultWindow(POOL_CRASH, 0.0, 1.0)
+        with pytest.raises(FaultError):
+            FaultWindow(LINK_DEGRADED, 0.0, 1.0, factor=0.0)
+
+    def test_contains_is_closed_open(self):
+        w = FaultWindow(LINK_DOWN, 1.0, 2.0)
+        assert w.contains(1.0) and not w.contains(2.0)
+
+
+class TestFaultSchedule:
+    def test_same_spec_same_schedule(self):
+        spec = FaultSpec(seed=3, horizon_s=1800.0, intensity=2.0)
+        a = FaultSchedule.from_spec(spec)
+        b = FaultSchedule.from_spec(spec)
+        assert a.windows == b.windows
+        assert a.points == b.points
+
+    def test_zero_intensity_is_empty(self):
+        schedule = FaultSchedule.from_spec(FaultSpec(intensity=0.0))
+        assert schedule.empty
+        assert schedule.page_in_loss_prob == 0.0
+
+    def test_windows_never_overlap(self):
+        spec = FaultSpec(
+            seed=5,
+            horizon_s=3600.0,
+            intensity=5.0,
+            link_outage_rate_per_h=20.0,
+            link_degrade_rate_per_h=20.0,
+        )
+        schedule = FaultSchedule.from_spec(spec)
+        assert schedule.windows  # not vacuous at this rate
+        for prev, cur in zip(schedule.windows, schedule.windows[1:]):
+            assert cur.start >= prev.end
+
+    def test_overlap_rejected_at_construction(self):
+        with pytest.raises(FaultError, match="overlapping"):
+            FaultSchedule(
+                windows=[
+                    FaultWindow(LINK_DOWN, 0.0, 10.0),
+                    FaultWindow(LINK_DEGRADED, 5.0, 15.0, factor=0.5),
+                ]
+            )
+
+    def test_queries(self):
+        schedule = FaultSchedule(
+            windows=[
+                FaultWindow(LINK_DOWN, 10.0, 20.0),
+                FaultWindow(LINK_DEGRADED, 30.0, 40.0, factor=0.5),
+            ],
+            page_in_loss_prob=0.3,
+        )
+        assert schedule.link_up_at(5.0) and not schedule.link_up_at(15.0)
+        assert schedule.next_link_up(15.0) == 20.0
+        assert schedule.next_link_up(25.0) == 25.0
+        assert schedule.lossy_at(35.0) and not schedule.lossy_at(15.0)
+        assert schedule.degrade_factor_at(35.0) == 0.5
+        assert schedule.degrade_factor_at(5.0) == 1.0
+        assert schedule.healthy_at(25.0)
+        assert not schedule.healthy_at(10.0)
+
+    def test_lossless_schedule_never_lossy(self):
+        schedule = FaultSchedule(
+            windows=[FaultWindow(LINK_DEGRADED, 0.0, 10.0, factor=0.5)]
+        )
+        assert not schedule.lossy_at(5.0)
+
+    def test_point_faults_sorted(self):
+        schedule = FaultSchedule(
+            points=[PointFault(POOL_CRASH, 9.0), PointFault(CONTAINER_CRASH, 3.0)]
+        )
+        assert [p.at for p in schedule.points] == [3.0, 9.0]
+
+
+class TestRecoveryConfig:
+    def test_backoff_doubles_and_caps(self):
+        config = RecoveryConfig(backoff_base_s=0.1, backoff_max_s=1.0)
+        assert config.backoff_for(0) == pytest.approx(0.1)
+        assert config.backoff_for(1) == pytest.approx(0.2)
+        assert config.backoff_for(2) == pytest.approx(0.4)
+        assert config.backoff_for(10) == 1.0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        config = RecoveryConfig(
+            failure_threshold=3, cooldown_s=30.0, success_threshold=2, **kwargs
+        )
+        return CircuitBreaker(config, clock=lambda: 0.0)
+
+    def test_trip_opens_immediately(self):
+        b = self._breaker()
+        b.trip(10.0, reason="link_down")
+        assert b.state == OPEN
+        assert b.opens == 1
+        assert not b.allow(10.0)
+
+    def test_cooldown_admits_probes(self):
+        b = self._breaker()
+        b.trip(10.0, reason="link_down")
+        assert not b.allow(39.9)
+        assert b.allow(40.0)  # cooldown elapsed -> half-open
+        assert b.state == HALF_OPEN
+
+    def test_successes_reclose(self):
+        b = self._breaker()
+        b.trip(0.0, reason="link_down")
+        b.allow(30.0)
+        b.record_success(30.0)
+        assert b.state == HALF_OPEN  # hysteresis: one is not enough
+        b.record_success(40.0)
+        assert b.state == CLOSED
+        assert b.reclosures == 1
+
+    def test_half_open_failure_reopens(self):
+        b = self._breaker()
+        b.trip(0.0, reason="link_down")
+        b.allow(30.0)
+        b.record_failure(30.0)
+        assert b.state == OPEN
+        assert b.opens == 2
+        # The cooldown restarts from the new failure.
+        assert not b.allow(45.0)
+        assert b.allow(60.0)
+
+    def test_consecutive_failures_open_from_closed(self):
+        b = self._breaker()
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        assert b.state == CLOSED
+        b.record_failure(3.0)
+        assert b.state == OPEN
+
+    def test_success_resets_failure_streak(self):
+        b = self._breaker()
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        b.record_success(2.5)
+        b.record_failure(3.0)
+        b.record_failure(4.0)
+        assert b.state == CLOSED
+
+    def test_closed_success_emits_nothing(self):
+        """Part of the zero-fault no-op proof: healthy traffic through
+        a closed breaker must not grow the event stream."""
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(clock=lambda: 0.0)
+        b = CircuitBreaker(RecoveryConfig(), clock=lambda: 0.0, tracer=tracer)
+        before = tracer.emitted
+        for _ in range(10):
+            b.record_success(1.0)
+            assert b.allow(1.0)
+        assert tracer.emitted == before

@@ -220,6 +220,105 @@ class TestSwapStatsConservation:
             fastswap.stats.check_conservation(0)
 
 
+class TestPoolFullAbort:
+    """An offload completing against a pool that filled up mid-flight
+    must bounce cleanly (aborted, pages stay local), not raise."""
+
+    def _small_pool_swap(self, engine, link):
+        pool = RemotePool(clock=lambda: engine.now, capacity_mib=2)  # 512 pages
+        return pool, Fastswap(engine, link, pool)
+
+    def test_pool_full_mid_flight_aborts(self, engine, node, link):
+        from repro.mem.cgroup import Cgroup
+
+        pool, swap = self._small_pool_swap(engine, link)
+        cgroup = Cgroup("cg", node, clock=lambda: engine.now)
+        r = cgroup.allocate("a", Segment.INIT, 400)
+        swap.offload(cgroup, [r])
+        # A competing store fills the pool before the write-out lands.
+        pool.store(300)
+        engine.run()
+        assert r.is_local
+        assert swap.stats.aborted_offloads == 1
+        assert swap.stats.offloaded_pages == 0
+        assert pool.used_pages == 300
+        swap.stats.check_conservation(pool.used_pages - 300)
+
+    def test_exact_fit_still_lands(self, engine, node, link):
+        from repro.mem.cgroup import Cgroup
+
+        pool, swap = self._small_pool_swap(engine, link)
+        cgroup = Cgroup("cg", node, clock=lambda: engine.now)
+        r = cgroup.allocate("a", Segment.INIT, 212)
+        swap.offload(cgroup, [r])
+        pool.store(300)  # leaves exactly 212 free
+        engine.run()
+        assert r.is_remote
+        assert swap.stats.aborted_offloads == 0
+        assert pool.used_pages == 512
+
+
+class TestLostPages:
+    """Pool-crash accounting: drop() and declare_lost() keep the
+    conservation identity intact with a remote_lost term."""
+
+    def test_drop_counts_lost_pages(self, engine):
+        pool = RemotePool(clock=lambda: engine.now, capacity_mib=8192)
+        pool.store(100)
+        pool.drop(40)
+        assert pool.used_pages == 60
+        assert pool.lost_pages == 40
+
+    def test_drop_more_than_stored_rejected(self, pool):
+        pool.store(5)
+        with pytest.raises(ValueError):
+            pool.drop(6)
+
+    def test_declare_lost_then_free_skips_release(self, engine, cgroup, fastswap):
+        fastswap.attach(cgroup)
+        r = cgroup.allocate("a", Segment.INIT, 128)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        lost = fastswap.declare_lost(cgroup, [r])
+        fastswap.pool.drop(lost)
+        assert lost == 128
+        assert fastswap.stats.remote_lost_pages == 128
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+        cgroup.free(r)  # must not release pool pages a second time
+        assert fastswap.stats.remote_freed_pages == 0
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+
+    def test_fault_on_lost_region_rematerializes_locally(
+        self, engine, cgroup, fastswap
+    ):
+        fastswap.attach(cgroup)
+        r = cgroup.allocate("a", Segment.INIT, 64)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        fastswap.pool.drop(fastswap.declare_lost(cgroup, [r]))
+        stall = fastswap.fault(cgroup, [r])
+        assert r.is_local
+        assert stall == 0.0  # no wire transfer: the image was lost
+        assert fastswap.stats.recalled_pages == 0
+        fastswap.stats.check_conservation(fastswap.pool.used_pages)
+
+    def test_declare_lost_skips_local_and_freed(self, engine, cgroup, fastswap):
+        fastswap.attach(cgroup)
+        local = cgroup.allocate("a", Segment.INIT, 16)
+        assert fastswap.declare_lost(cgroup, [local]) == 0
+        assert fastswap.stats.remote_lost_pages == 0
+
+    def test_declare_lost_idempotent(self, engine, cgroup, fastswap):
+        fastswap.attach(cgroup)
+        r = cgroup.allocate("a", Segment.INIT, 32)
+        fastswap.offload(cgroup, [r])
+        engine.run()
+        first = fastswap.declare_lost(cgroup, [r])
+        second = fastswap.declare_lost(cgroup, [r])
+        assert first == 32 and second == 0
+        assert fastswap.stats.remote_lost_pages == 32
+
+
 class TestAttachment:
     def test_freeing_remote_region_releases_pool(self, engine, cgroup, fastswap):
         fastswap.attach(cgroup)

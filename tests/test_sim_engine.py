@@ -132,3 +132,68 @@ class TestRunControl:
             engine.schedule(d, lambda: times.append(engine.now))
         engine.run()
         assert times == sorted(times)
+
+
+class TestCallbackErrorWrapping:
+    """Exceptions escaping event callbacks surface as SimulationError
+    with sim-time and event context, without corrupting the queue."""
+
+    def test_wrapped_error_carries_context(self, engine):
+        def boom():
+            raise ValueError("kaput")
+
+        engine.schedule(2.5, boom, name="exploding-event")
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run()
+        assert "exploding-event" in str(excinfo.value)
+        assert "t=2.500000" in str(excinfo.value)
+        assert "ValueError" in str(excinfo.value)
+        assert excinfo.value.sim_time == 2.5
+        assert excinfo.value.event_name == "exploding-event"
+
+    def test_wrapper_is_also_original_type(self, engine):
+        """pytest.raises(OriginalError) through engine.run must keep
+        working: the wrapper inherits from both."""
+
+        def boom():
+            raise KeyError("gone")
+
+        engine.schedule(1.0, boom)
+        with pytest.raises(KeyError):
+            engine.run()
+
+    def test_original_is_chained_as_cause(self, engine):
+        original = ValueError("kaput")
+
+        def boom():
+            raise original
+
+        engine.schedule(1.0, boom)
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run()
+        assert excinfo.value.__cause__ is original
+
+    def test_simulation_errors_not_double_wrapped(self, engine):
+        def boom():
+            raise SimulationError("already domain-level")
+
+        engine.schedule(1.0, boom)
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run()
+        assert str(excinfo.value) == "already domain-level"
+
+    def test_queue_survives_callback_error(self, engine):
+        fired = []
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        engine.schedule(1.0, boom)
+        engine.schedule(2.0, lambda: fired.append(engine.now))
+        with pytest.raises(SimulationError):
+            engine.run()
+        # The failed event was consumed; the rest of the queue is
+        # intact and the run can continue.
+        engine.run()
+        assert fired == [2.0]
+        assert engine.now == 2.0
