@@ -8,9 +8,7 @@ Three sweeps over knobs DESIGN.md calls out:
 * the gradual-offload mode (percentile vs amount vs immediate) (§6.2).
 """
 
-import pytest
 
-from benchmarks.conftest import run_once
 from repro.core import FaaSMemConfig, FaaSMemPolicy
 from repro.experiments.common import make_reuse_priors, run_benchmark_trace
 from repro.metrics.export import render_table

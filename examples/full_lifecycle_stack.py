@@ -14,7 +14,6 @@ Usage::
 from repro import FaaSMemPolicy, NoOffloadPolicy, ServerlessPlatform, get_profile
 from repro.faas import HistogramKeepAlive, PlatformConfig, Prewarmer
 from repro.metrics.export import render_table
-from repro.traces import sample_function_trace
 
 
 def run_stack(label, policy, adaptive_keepalive, prewarm, trace, duration):

@@ -64,7 +64,6 @@ def main() -> None:
             )
         )
 
-    ctl_states = policy.reports or []
     print("\n=== node / pool accounting ===")
     print(f"  local DRAM now : {platform.node.local_mib:8.1f} MiB")
     print(f"  memory pool now: {platform.pool.used_mib:8.1f} MiB")

@@ -23,6 +23,12 @@ from repro.baselines import DamonPolicy, NoOffloadPolicy, TmoPolicy
 from repro.core import FaaSMemConfig, FaaSMemPolicy
 from repro.faas import PlatformConfig, ServerlessPlatform
 from repro.faults import FaultInjector, FaultSchedule, FaultSpec, RecoveryConfig
+from repro.pressure import (
+    DegradationTier,
+    MemoryPressureGovernor,
+    PressureConfig,
+    ShedReason,
+)
 from repro.traces import generate_azure_like, sample_function_trace
 from repro.workloads import all_benchmarks, get_profile
 
@@ -40,6 +46,10 @@ __all__ = [
     "FaultSchedule",
     "FaultInjector",
     "RecoveryConfig",
+    "PressureConfig",
+    "MemoryPressureGovernor",
+    "DegradationTier",
+    "ShedReason",
     "get_profile",
     "all_benchmarks",
     "sample_function_trace",

@@ -11,7 +11,7 @@ in, inflating tail latency by up to ~14x (Fig. 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.baselines.scanning import PeriodicScanPolicy
 from repro.mem.page import Segment
@@ -30,7 +30,7 @@ class DamonPolicy(PeriodicScanPolicy):
 
     name = "damon"
 
-    def __init__(self, config: DamonConfig = None) -> None:
+    def __init__(self, config: Optional[DamonConfig] = None) -> None:
         self.config = config or DamonConfig()
         super().__init__(interval_s=self.config.aggregation_interval_s)
         # (container_id, region_id) -> consecutive unaccessed scans.

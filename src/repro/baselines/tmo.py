@@ -10,7 +10,7 @@ transient serverless containers (§8.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.baselines.scanning import PeriodicScanPolicy
 from repro.mem.page import PageRegion, Segment
@@ -33,7 +33,7 @@ class TmoPolicy(PeriodicScanPolicy):
 
     name = "tmo"
 
-    def __init__(self, config: TmoConfig = None) -> None:
+    def __init__(self, config: Optional[TmoConfig] = None) -> None:
         self.config = config or TmoConfig()
         super().__init__(interval_s=self.config.interval_s)
         self._backoff_until: Dict[str, float] = {}

@@ -33,6 +33,7 @@ _QUICK_KWARGS = {
     "cluster": {"duration": 900.0},
     "pressure": {"duration": 900.0},
     "node": {"duration": 1200.0, "n_functions": 40, "max_functions": 25},
+    "overload": {"duration": 240.0, "multipliers": (0.5, 1.5, 3.0)},
     "replication": {"duration": 600.0, "seeds": (1, 2, 3)},
     "chaos": {"duration": 600.0, "intensities": (0.0, 2.0)},
 }

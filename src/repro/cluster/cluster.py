@@ -184,7 +184,7 @@ class ClusterReport:
 
 def deployment_events_from_run(
     platform,
-    quota_scale: Dict[str, float] = None,
+    quota_scale: Optional[Dict[str, float]] = None,
     horizon: Optional[float] = None,
 ) -> List[DeployEvent]:
     """Turn a finished platform run into a deployment stream.

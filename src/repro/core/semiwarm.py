@@ -22,6 +22,45 @@ from repro.sim.process import PeriodicTask, Timer
 from repro.units import pages_from_mib
 
 
+def ordered_offload_candidates(
+    cgroup, state: Optional[ContainerMemoryState]
+) -> List[PageRegion]:
+    """Local offloadable regions of one container, coldest first.
+
+    With Puckets enabled, still-inactive Pucket pages go before the
+    hot pool (they are colder by construction); within each class,
+    older last-access first. Shared by the semi-warm drain and the
+    memory-pressure governor's reclaim paths so "drive offload harder"
+    means scanning the same generations deeper, not a different
+    victim order.
+    """
+
+    def age_key(region: PageRegion) -> Tuple[float, int]:
+        last = region.last_access if region.last_access is not None else -1.0
+        return (last, region.region_id)
+
+    if state is not None:
+        inactive = [
+            region
+            for pucket in (state.runtime_pucket, state.init_pucket)
+            for region in pucket.inactive_regions
+            if region.is_local and not region.freed
+        ]
+        hot = [
+            region
+            for region in state.hot_pool.regions
+            if region.is_local and not region.freed
+        ]
+        return sorted(inactive, key=age_key) + sorted(hot, key=age_key)
+    regions = [
+        region
+        for segment in (Segment.RUNTIME, Segment.INIT)
+        for region in cgroup.local_regions(segment)
+        if not region.freed
+    ]
+    return sorted(regions, key=age_key)
+
+
 @dataclass
 class SemiWarmEpisode:
     """One contiguous semi-warm span of a container."""
@@ -168,37 +207,8 @@ class SemiWarmController:
         return victims
 
     def _ordered_candidates(self) -> List[PageRegion]:
-        """Local offloadable regions, coldest first.
-
-        With Puckets enabled, still-inactive Pucket pages go before the
-        hot pool (they are colder by construction); within each class,
-        older last-access first.
-        """
-
-        def age_key(region: PageRegion) -> Tuple[float, int]:
-            last = region.last_access if region.last_access is not None else -1.0
-            return (last, region.region_id)
-
-        if self.state is not None:
-            inactive = [
-                region
-                for pucket in (self.state.runtime_pucket, self.state.init_pucket)
-                for region in pucket.inactive_regions
-                if region.is_local and not region.freed
-            ]
-            hot = [
-                region
-                for region in self.state.hot_pool.regions
-                if region.is_local and not region.freed
-            ]
-            return sorted(inactive, key=age_key) + sorted(hot, key=age_key)
-        regions = [
-            region
-            for segment in (Segment.RUNTIME, Segment.INIT)
-            for region in self.container.cgroup.local_regions(segment)
-            if not region.freed
-        ]
-        return sorted(regions, key=age_key)
+        """Coldest-first offload candidates (shared helper)."""
+        return ordered_offload_candidates(self.container.cgroup, self.state)
 
     # ------------------------------------------------------------------
     # Reporting

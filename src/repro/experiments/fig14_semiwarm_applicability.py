@@ -13,7 +13,7 @@ functions have stable reuse and benefit least.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -28,7 +28,7 @@ def semiwarm_share_of_function(
     keep_alive_s: float,
     exec_time: float,
     percentile: float = 99.0,
-    horizon: float = None,
+    horizon: Optional[float] = None,
     fallback_s: float = 60.0,
 ) -> Dict[str, float]:
     """Semi-warm time share and mean container lifetime for one function.

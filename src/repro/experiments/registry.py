@@ -10,6 +10,7 @@ from repro.experiments import (
     cluster_density,
     fig11_semiwarm_overview,
     node_mixed,
+    overload,
     pressure,
     replication,
     fig01_keepalive,
@@ -45,6 +46,7 @@ _REGISTRY: Dict[str, Callable] = {
     # Beyond the paper's figures:
     "chaos": chaos.run,
     "cluster": cluster_density.run,
+    "overload": overload.run,
     "pressure": pressure.run,
     "node": node_mixed.run,
     "replication": replication.replicate,

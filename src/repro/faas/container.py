@@ -219,12 +219,16 @@ class Container:
         self._exec_region = self.cgroup.allocate(
             "exec/scratch", Segment.EXEC, pages_from_mib(self.profile.exec_mib)
         )
-        service = self.profile.sample_exec_time(self.rng) + stall
+        # Memory-pressure stalls: direct-reclaim waits charged to this
+        # container by the governor plus any memory.high throttle.
+        governor = self.platform.governor
+        reclaim_stall = governor.request_stall(self) if governor is not None else 0.0
+        service = self.profile.sample_exec_time(self.rng) + stall + reclaim_stall
         start = self.engine.now
         self._inflight = invocation
         self._exec_event = self.engine.schedule(
             service,
-            lambda: self._complete(invocation, start, stall, recalled_pages),
+            lambda: self._complete(invocation, start, stall, recalled_pages, reclaim_stall),
             name=f"exec:{self.container_id}",
         )
 
@@ -283,6 +287,7 @@ class Container:
         start: float,
         stall: float,
         recalled_pages: int,
+        reclaim_stall: float = 0.0,
     ) -> None:
         if self._exec_region is not None:
             self.cgroup.free(self._exec_region)
@@ -301,6 +306,7 @@ class Container:
             fault_stall_s=stall,
             recalled_pages=recalled_pages,
             restarts=invocation.restarts,
+            reclaim_stall_s=reclaim_stall,
         )
         self.platform.record(record)
         self.platform.policy.on_request_complete(self, record)
@@ -318,7 +324,12 @@ class Container:
 
     def _enter_idle(self) -> None:
         self.idle_since = self.engine.now
-        self._keep_alive.start(self.platform.keep_alive.timeout_for(self))
+        timeout = self.platform.keep_alive.timeout_for(self)
+        governor = self.platform.governor
+        if governor is not None:
+            # Degradation tier 1+: idle containers are let go sooner.
+            timeout = governor.scale_keep_alive(timeout)
+        self._keep_alive.start(timeout)
         heartbeat = self.platform.config.heartbeat_s
         if heartbeat > 0 and self._heartbeat is None:
             self._heartbeat = PeriodicTask(

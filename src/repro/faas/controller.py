@@ -9,7 +9,7 @@ scales out — the invocation suffers a cold start on a new container.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.faas.container import Container, ContainerState
 from repro.faas.request import Invocation
@@ -40,12 +40,14 @@ class Controller:
     def all_containers(self) -> List[Container]:
         return [c for pool in self._containers.values() for c in pool if c.alive]
 
-    def dispatch(self, invocation: Invocation) -> Container:
+    def dispatch(self, invocation: Invocation) -> Optional[Container]:
         """Route one invocation; returns the chosen container.
 
         Order of preference: most-recently-idle warm container, then a
         busy/launching container with backlog below the queue bound
-        (scale-out hysteresis), then a fresh cold start.
+        (scale-out hysteresis), then a fresh cold start. Under memory
+        pressure a governor may intercept the cold start (queue or
+        shed the invocation), in which case None is returned.
         """
         spec = self.platform.function(invocation.function)
         containers = self.containers_of(invocation.function)
@@ -62,6 +64,9 @@ class Controller:
             target = min(queueable, key=lambda c: (len(c.pending), c.created_at))
             target.enqueue(invocation)
             return target
+        governor = self.platform.governor
+        if governor is not None and governor.gate_launch(invocation):
+            return None
         invocation.cold = True
         self.cold_start_count += 1
         target = self._create_container(spec)
@@ -87,13 +92,17 @@ class Controller:
             self.committed_mib -= container.function.quota_mib
         self.platform.note_container_reclaimed(container)
 
-    def prewarm(self, function: str) -> Container:
+    def prewarm(self, function: str) -> Optional[Container]:
         """Launch a container proactively, with no request attached.
 
         The container walks launch + init and then idles warm; the
         next invocation finds it (or attaches to it mid-launch) and
-        skips the cold start.
+        skips the cold start. Returns None when a pressure governor
+        (degradation tier 2+) refuses the launch.
         """
+        governor = self.platform.governor
+        if governor is not None and governor.deny_prewarm(function):
+            return None
         spec = self.platform.function(function)
         return self._create_container(spec)
 

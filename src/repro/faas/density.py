@@ -9,6 +9,7 @@ as a 100 MiB container, so the node packs 1.28x as many.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.faas.platform import ServerlessPlatform
 from repro.metrics.summary import density_improvement
@@ -35,7 +36,7 @@ class DensityReport:
 
 
 def estimate_density(
-    platform: ServerlessPlatform, function: str, window: float = None
+    platform: ServerlessPlatform, function: str, window: Optional[float] = None
 ) -> DensityReport:
     """Compute the density improvement for a single-function run.
 

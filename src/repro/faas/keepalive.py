@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import PolicyError
 from repro.units import MINUTE
@@ -38,7 +38,11 @@ class PerFunctionKeepAlive(KeepAlivePolicy):
     Functions not in the mapping fall back to ``default_s``.
     """
 
-    def __init__(self, timeouts: dict = None, default_s: float = 10 * MINUTE) -> None:
+    def __init__(
+        self,
+        timeouts: Optional[Dict[str, float]] = None,
+        default_s: float = 10 * MINUTE,
+    ) -> None:
         if default_s <= 0:
             raise PolicyError(f"default timeout must be positive, got {default_s}")
         self.timeouts = dict(timeouts or {})

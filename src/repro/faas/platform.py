@@ -74,6 +74,12 @@ class PlatformConfig:
     # no injector is constructed at all and the datapath stays on its
     # zero-cost ``injector is None`` path.
     faults: Optional[object] = None
+    # Memory-pressure governor (repro.pressure): a PressureConfig.
+    # None falls back to the process-wide default installed via
+    # repro.pressure.runtime; with neither set, no governor is
+    # constructed and every hook stays on its zero-cost
+    # ``governor is None`` path.
+    pressure: Optional[object] = None
 
 
 @dataclass
@@ -167,6 +173,18 @@ class ServerlessPlatform:
             if isinstance(faults, FaultSpec):
                 faults = FaultSchedule.from_spec(faults)
             self.fault_injector = FaultInjector(self, faults).attach()
+        # Memory pressure: same precedence as faults — explicit config
+        # value, then the process-wide default, then nothing.
+        self.governor = None
+        pressure = self.config.pressure
+        if pressure is None:
+            from repro.pressure import runtime as pressure_runtime
+
+            pressure = pressure_runtime.default_pressure()
+        if pressure is not None:
+            from repro.pressure.governor import MemoryPressureGovernor
+
+            self.governor = MemoryPressureGovernor(self, pressure).attach()
         self.policy = policy
         self._functions: Dict[str, FunctionSpec] = {}
         self.records: List[RequestRecord] = []
@@ -250,12 +268,16 @@ class ServerlessPlatform:
         self.container_history.append(history)
         self._history_by_id[container.container_id] = history
         self._alive_containers.add(self.engine.now, 1)
+        if self.governor is not None:
+            self.governor.on_container_created(container)
 
     def note_container_reclaimed(self, container) -> None:
         history = self._history_by_id.get(container.container_id)
         if history is not None:
             history.reclaimed_at = self.engine.now
         self._alive_containers.add(self.engine.now, -1)
+        if self.governor is not None:
+            self.governor.on_container_reclaimed(container)
 
     @property
     def alive_container_average(self) -> float:
@@ -288,6 +310,7 @@ class ServerlessPlatform:
         return {
             "queue_wait_s": sum(r.queue_wait for r in records) / n,
             "fault_stall_s": sum(r.fault_stall_s for r in records) / n,
+            "reclaim_stall_s": sum(r.reclaim_stall_s for r in records) / n,
             "exec_s": sum(r.exec_time for r in records) / n,
             "total_s": sum(r.latency for r in records) / n,
         }

@@ -104,8 +104,8 @@ class Prewarmer:
         ]
         if len(ready_or_coming) >= self.max_outstanding:
             return  # someone is already warm or on the way
-        controller.prewarm(function)
-        self.prewarms_issued += 1
+        if controller.prewarm(function) is not None:
+            self.prewarms_issued += 1
 
     def detach(self) -> None:
         """Cancel all pending prewarms (end of run)."""

@@ -44,6 +44,9 @@ class RequestRecord:
     recalled_pages: int = 0
     # Container crashes survived before completion (repro.faults).
     restarts: int = 0
+    # Synchronous memory-pressure stall (direct reclaim + memory.high
+    # throttle) charged to this request (repro.pressure).
+    reclaim_stall_s: float = 0.0
 
     @property
     def latency(self) -> float:
@@ -57,8 +60,10 @@ class RequestRecord:
 
     @property
     def exec_time(self) -> float:
-        """Pure function execution time (service minus fault stalls)."""
-        return max(0.0, self.completion - self.start - self.fault_stall_s)
+        """Pure function execution time (service minus stalls)."""
+        return max(
+            0.0, self.completion - self.start - self.fault_stall_s - self.reclaim_stall_s
+        )
 
     @property
     def semi_warm_start(self) -> bool:
@@ -74,5 +79,6 @@ class RequestRecord:
         return {
             "queue_wait_s": self.queue_wait,
             "fault_stall_s": self.fault_stall_s,
+            "reclaim_stall_s": self.reclaim_stall_s,
             "exec_s": self.exec_time,
         }

@@ -30,6 +30,12 @@ class Cgroup:
         self._clock = clock
         self.space = AddressSpace(owner=name)
         self.mglru = MultiGenLru()
+        # memory.high analogue: while a pressure governor holds the
+        # node in a degraded tier it shrinks this below the quota, and
+        # allocations over it pay a quadratic delay ramp. None = no
+        # throttle (the default).
+        self.memory_high_pages: Optional[int] = None
+        self.throttle_events = 0
         # Fired when a remote region is freed, so the swap layer can
         # release pool pages; wired up by Fastswap at attach time.
         self.on_remote_freed: List[Callable[[PageRegion], None]] = []
@@ -82,8 +88,25 @@ class Cgroup:
         if region.is_local:
             raise MemoryError_(f"region {region.name!r} is already local")
         region.location = Location.LOCAL
-        self.node.add_local(region.pages)
+        self.node.add_local(region.pages, owner=self.name)
         self.mglru.insert(region)
+
+    def throttle_delay(self, ramp_s: float, max_delay_s: float) -> float:
+        """memory.high overage penalty: quadratic delay ramp.
+
+        Zero when no throttle is set or the cgroup is within its
+        shrunk quota; otherwise ``ramp * (overage_fraction)^2`` capped
+        at ``max_delay_s``, mirroring the kernel's allocation-throttle
+        curve.
+        """
+        if self.memory_high_pages is None or self.memory_high_pages <= 0:
+            return 0.0
+        over = self.local_pages - self.memory_high_pages
+        if over <= 0:
+            return 0.0
+        self.throttle_events += 1
+        overage = over / self.memory_high_pages
+        return min(max_delay_s, ramp_s * overage * overage)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -112,7 +135,7 @@ class Cgroup:
     # ------------------------------------------------------------------
 
     def _handle_alloc(self, region: PageRegion) -> None:
-        self.node.add_local(region.pages)
+        self.node.add_local(region.pages, owner=self.name)
         self.mglru.insert(region)
 
     def _handle_touch(self, region: PageRegion) -> None:

@@ -34,8 +34,8 @@ into an :class:`~repro.errors.AuditError` at the end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import AuditError
 from repro.obs.trace import EventKind, TraceEvent, Tracer
@@ -105,6 +105,12 @@ class InvariantAuditor:
         self._last_engine_time = float("-inf")
         # direction -> (last_start, last_completion)
         self._link_busy: Dict[str, Tuple[float, float]] = {}
+        # Memory-pressure governor legality (repro.pressure): the tier
+        # ladder moves one rung at a time, shedding is only legal in
+        # the top tier, and an OOM kill is only legal after a failed
+        # direct reclaim.
+        self._governor_tier = 0
+        self._direct_reclaim_failed = False
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -347,6 +353,65 @@ class InvariantAuditor:
             )
         self._link_busy[event.subject] = (start, max(completion, last_completion))
 
+    # -- memory-pressure governor ---------------------------------------
+
+    def _on_pressure_tier(self, event: TraceEvent) -> None:
+        src = int(event.data.get("from", -1))
+        dst = int(event.data.get("to", -1))
+        self._check(
+            self._governor_tier == src,
+            event.time,
+            "pressure.tier",
+            event.subject,
+            f"tier change claims from={src} but ledger holds {self._governor_tier}",
+        )
+        self._check(
+            abs(dst - src) == 1 and 0 <= dst <= 4,
+            event.time,
+            "pressure.tier",
+            event.subject,
+            f"degradation tier skipped a step: {src} -> {dst}",
+        )
+        self._governor_tier = dst
+
+    def _on_admission_shed(self, event: TraceEvent) -> None:
+        self._check(
+            self._governor_tier == 4,
+            event.time,
+            "pressure.shed",
+            event.subject,
+            f"invocation shed in tier {self._governor_tier}; only the top "
+            f"tier (4) may drop work",
+        )
+        self._check(
+            bool(event.data.get("reason")),
+            event.time,
+            "pressure.shed",
+            event.subject,
+            "shed event carries no reason",
+        )
+
+    def _on_direct_reclaim(self, event: TraceEvent) -> None:
+        needed = int(event.data.get("needed", 0))
+        freed = int(event.data.get("freed", 0))
+        self._direct_reclaim_failed = freed < needed
+
+    def _on_oom_kill(self, event: TraceEvent) -> None:
+        self._check(
+            self._direct_reclaim_failed,
+            event.time,
+            "pressure.oom",
+            event.subject,
+            "OOM kill without a preceding failed direct reclaim",
+        )
+        self._check(
+            bool(event.data.get("reason")),
+            event.time,
+            "pressure.oom",
+            event.subject,
+            "OOM kill carries no reason",
+        )
+
     # ------------------------------------------------------------------
     # End-of-run checks
     # ------------------------------------------------------------------
@@ -402,6 +467,25 @@ class InvariantAuditor:
             f"with pool-dropped pages {platform.pool.lost_pages}",
         )
         self._snapshot_policy_states(platform, now)
+        governor = getattr(platform, "governor", None)
+        if governor is not None and governor.enforcing:
+            node = platform.node
+            self._check(
+                node.peak_pages <= node.capacity_pages,
+                now,
+                "node.capacity",
+                node.name,
+                f"peak local usage {node.peak_pages} pages exceeded capacity "
+                f"{node.capacity_pages} under an enforcing governor",
+            )
+            self._check(
+                node.overcommit_events == 0,
+                now,
+                "node.capacity",
+                node.name,
+                f"{node.overcommit_events} over-capacity allocation(s) under "
+                f"an enforcing governor",
+            )
 
     def _snapshot_policy_states(self, platform: Any, now: float) -> None:
         """Direct exclusivity scan of live Pucket state (FaaSMem only)."""
@@ -485,4 +569,8 @@ _HANDLERS = {
     EventKind.BREAKER_OPEN.value: InvariantAuditor._on_breaker_event,
     EventKind.BREAKER_HALF_OPEN.value: InvariantAuditor._on_breaker_event,
     EventKind.BREAKER_CLOSE.value: InvariantAuditor._on_breaker_event,
+    EventKind.PRESSURE_TIER.value: InvariantAuditor._on_pressure_tier,
+    EventKind.ADMISSION_SHED.value: InvariantAuditor._on_admission_shed,
+    EventKind.DIRECT_RECLAIM.value: InvariantAuditor._on_direct_reclaim,
+    EventKind.OOM_KILL.value: InvariantAuditor._on_oom_kill,
 }

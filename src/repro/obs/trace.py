@@ -69,6 +69,19 @@ class EventKind(str, enum.Enum):
     BREAKER_HALF_OPEN = "breaker.half_open"
     BREAKER_CLOSE = "breaker.close"
 
+    # Memory-pressure governor (repro.pressure)
+    WATERMARK_LOW = "pressure.watermark.low"
+    WATERMARK_RECOVERED = "pressure.watermark.recovered"
+    BACKGROUND_RECLAIM = "pressure.reclaim.background"
+    DIRECT_RECLAIM = "pressure.reclaim.direct"
+    OOM_KILL = "pressure.oom_kill"
+    PRESSURE_TIER = "pressure.tier"
+    THROTTLE = "pressure.throttle"
+    ADMISSION_QUEUE = "pressure.admission.queue"
+    ADMISSION_DEQUEUE = "pressure.admission.dequeue"
+    ADMISSION_SHED = "pressure.admission.shed"
+    PREWARM_DENIED = "pressure.prewarm.denied"
+
 
 class TraceEvent:
     """One typed trace record.

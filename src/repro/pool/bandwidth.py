@@ -9,6 +9,7 @@ link occupancy and hands policies a uniform slowdown factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.pool.link import Link, LinkDirection
 
@@ -25,7 +26,7 @@ class BandwidthMonitorConfig:
 class BandwidthMonitor:
     """Computes a uniform offload-rate factor from link occupancy."""
 
-    def __init__(self, link: Link, config: BandwidthMonitorConfig = None) -> None:
+    def __init__(self, link: Link, config: Optional[BandwidthMonitorConfig] = None) -> None:
         self.link = link
         self.config = config or BandwidthMonitorConfig()
 

@@ -14,7 +14,7 @@ Mirrors the two paths the paper ports onto Linux 6.1 (§7):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import MemoryError_
 from repro.mem.cgroup import Cgroup
@@ -113,7 +113,7 @@ class Fastswap:
         engine: Engine,
         link: Link,
         pool: RemotePool,
-        config: FastswapConfig = None,
+        config: Optional[FastswapConfig] = None,
     ) -> None:
         self.engine = engine
         self.link = link
@@ -259,6 +259,56 @@ class Fastswap:
                 region=region.region_id,
                 pages=region.pages,
             )
+
+    def writeback(
+        self, cgroup: Cgroup, regions: Iterable[PageRegion]
+    ) -> Tuple[List[PageRegion], float]:
+        """Synchronously write regions out (direct-reclaim page-out).
+
+        Unlike :meth:`offload`, the pages leave local DRAM immediately
+        — the caller (the pressure governor) is stalling an allocation
+        on this reclaim, so there is no in-flight window to re-dirty.
+        Returns ``(regions moved, completion time of the last
+        transfer)``; the caller charges ``completion - now`` to the
+        faulting request. Suspended datapaths move nothing.
+        """
+        if self.suspended:
+            return [], self.engine.now
+        moved: List[PageRegion] = []
+        completion = self.engine.now
+        for region in regions:
+            if region.freed or region.is_remote:
+                continue
+            if region.pages > self.pool.free_pages:
+                # Full pool: skip, like a swap-out bouncing off a full
+                # swap device. The governor falls through to OOM.
+                continue
+            _, completion = self.link.transfer(
+                self.engine.now, region.pages, LinkDirection.OUT
+            )
+            self.stats.offload_ops += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.OFFLOAD_ISSUE,
+                    cgroup.name,
+                    region=region.region_id,
+                    pages=region.pages,
+                )
+            self.pool.store(region.pages)
+            cgroup.mark_offloaded(region)
+            self.stats.offloaded_pages += region.pages
+            self._per_cgroup_offloaded[cgroup.name] = (
+                self._per_cgroup_offloaded.get(cgroup.name, 0) + region.pages
+            )
+            moved.append(region)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.OFFLOAD_COMPLETE,
+                    cgroup.name,
+                    region=region.region_id,
+                    pages=region.pages,
+                )
+        return moved, completion
 
     # ------------------------------------------------------------------
     # Page-in

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.trace import EventKind
 from repro.units import PAGE_SIZE
@@ -61,7 +61,7 @@ class LinkConfig:
 class Link:
     """A full-duplex pipe with FCFS queueing per direction."""
 
-    def __init__(self, config: LinkConfig = None) -> None:
+    def __init__(self, config: Optional[LinkConfig] = None) -> None:
         self.config = config or LinkConfig()
         # Optional repro.obs.Tracer; None keeps transfers untraced.
         self.tracer = None

@@ -1,0 +1,35 @@
+"""Process-wide default pressure config (mirrors :mod:`repro.faults.runtime`).
+
+Experiment harnesses construct their platforms internally, so a CLI
+flag cannot reach them through arguments. Installing a
+:class:`~repro.pressure.governor.PressureConfig` here makes every
+subsequently-constructed
+:class:`~repro.faas.platform.ServerlessPlatform` whose config carries
+no explicit ``pressure`` attach a governor. ``clear()`` restores the
+zero-cost default (no governor at all).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pressure.governor import PressureConfig
+
+_DEFAULT: Optional[PressureConfig] = None
+
+
+def install(pressure: PressureConfig) -> None:
+    """Set the default pressure config for new platforms."""
+    global _DEFAULT
+    _DEFAULT = pressure
+
+
+def clear() -> None:
+    """Remove the default; new platforms run ungoverned."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def default_pressure() -> Optional[PressureConfig]:
+    """The currently-installed default, or None."""
+    return _DEFAULT

@@ -9,7 +9,7 @@ MRU container assignment, single request per container at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -85,7 +85,7 @@ def replay_keepalive(
     timestamps: Sequence[float],
     timeout: float,
     exec_time: float = 1.0,
-    horizon: float = None,
+    horizon: Optional[float] = None,
 ) -> KeepAliveReplay:
     """Greedy single-function keep-alive replay.
 

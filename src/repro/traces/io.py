@@ -13,7 +13,7 @@ from __future__ import annotations
 import csv
 import json
 from collections import defaultdict
-from typing import Dict, Iterable, List, TextIO, Union
+from typing import Dict, Iterable, List, Optional, TextIO, Union
 
 from repro.errors import TraceError
 from repro.traces.model import FunctionTrace, TraceSet
@@ -23,9 +23,9 @@ PathOrFile = Union[str, TextIO]
 
 def load_azure_csv(
     source: PathOrFile,
-    duration: float = None,
+    duration: Optional[float] = None,
     use_start_times: bool = True,
-    max_functions: int = None,
+    max_functions: Optional[int] = None,
 ) -> TraceSet:
     """Parse the Azure invocation-trace CSV format.
 

@@ -8,7 +8,7 @@ on/off (event-driven spikes) and diurnal (user-facing load).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -40,7 +40,7 @@ def periodic_arrivals(
     interval_s: float,
     duration: float,
     jitter_s: float = 0.0,
-    phase: float = None,
+    phase: Optional[float] = None,
 ) -> List[float]:
     """Timer-triggered: fixed interval with optional jitter."""
     if interval_s <= 0:

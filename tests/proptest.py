@@ -102,6 +102,18 @@ def sampled_from(options: Sequence[Any]) -> Strategy:
     return Strategy(lambda rng: options[rng.randrange(len(options))])
 
 
+def one_of(*strategies: Strategy) -> Strategy:
+    """Draw from one of the strategies, chosen uniformly per sample."""
+    strategies = tuple(_ensure_strategy(s) for s in strategies)
+    if not strategies:
+        raise ValueError("one_of needs at least one strategy")
+
+    def sampler(rng: random.Random) -> Any:
+        return strategies[rng.randrange(len(strategies))].sample(rng)
+
+    return Strategy(sampler)
+
+
 def lists(element: Strategy, *, min_size: int = 0, max_size: int = 10) -> Strategy:
     element = _ensure_strategy(element)
     if min_size > max_size:

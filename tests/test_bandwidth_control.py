@@ -5,7 +5,6 @@ gradual offloading spreads the write-out over time, and the global
 monitor throttles everyone as the link saturates.
 """
 
-import pytest
 
 from repro.core import FaaSMemConfig, FaaSMemPolicy
 from repro.faas import PlatformConfig, ServerlessPlatform

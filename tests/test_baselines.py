@@ -61,7 +61,6 @@ class TestTmo:
         # A request that stalls on a fault triggers the PSI backoff.
         platform.submit("json", platform.engine.now + 1.0)
         platform.engine.run(until=platform.engine.now + 200.0)
-        container = platform.controller.all_containers()[0]
         # Offloading may have recalled pages but must not keep growing.
         after = platform.fastswap.stats.offloaded_pages
         assert after <= before * 1.2 + 256

@@ -1,6 +1,5 @@
 """Integration-style tests for the FaaSMem policy on the platform."""
 
-import pytest
 
 from repro.core import FaaSMemConfig, FaaSMemPolicy
 from repro.faas import PlatformConfig, ServerlessPlatform

@@ -1,8 +1,7 @@
 """Unit tests for the semi-warm controller."""
 
-import pytest
 
-from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.core import FaaSMemPolicy
 from repro.core.semiwarm import SemiWarmEpisode
 from repro.faas import PlatformConfig, ServerlessPlatform
 from repro.workloads import get_profile

@@ -121,7 +121,9 @@ class TestZeroPressureDifferential:
         assert faasmem.fastswap.stats.offloaded_pages > 0  # not vacuous
         assert faasmem.fastswap.stats.recalled_pages == 0
 
-        key = lambda r: (r.arrival, r.invocation_id)
+        def key(r):
+            return (r.arrival, r.invocation_id)
+
         base_records = sorted(baseline.records, key=key)
         faas_records = sorted(faasmem.records, key=key)
         assert len(base_records) == len(faas_records)
@@ -132,3 +134,42 @@ class TestZeroPressureDifferential:
                 f"{base.latency} != {faas.latency}"
             )
             assert faas.fault_stall_s == 0.0
+
+
+class TestExperimentDeterminism:
+    """The beyond-the-paper harnesses are reproducible run to run."""
+
+    def _digest_of(self, runner) -> str:
+        obs.reset_sessions()
+        obs.enable(trace=True, audit=False)
+        try:
+            runner()
+            return obs.combined_digest()
+        finally:
+            obs.disable()
+            obs.reset_sessions()
+
+    def test_pressure_experiment_digest_stable(self):
+        from repro.experiments import pressure
+
+        def runner():
+            pressure.run(duration=600.0)
+
+        assert self._digest_of(runner) == self._digest_of(runner)
+
+    def test_node_mixed_experiment_digest_stable(self):
+        from repro.experiments import node_mixed
+
+        def runner():
+            node_mixed.run(n_functions=25, duration=900.0, max_functions=15)
+
+        assert self._digest_of(runner) == self._digest_of(runner)
+
+    def test_overload_experiment_digest_stable(self):
+        """Governor machinery (reclaim, OOM tie-breaks, queues) included."""
+        from repro.experiments import overload
+
+        def runner():
+            overload.run(duration=120.0, multipliers=(0.5, 2.0))
+
+        assert self._digest_of(runner) == self._digest_of(runner)

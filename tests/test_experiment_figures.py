@@ -1,6 +1,5 @@
 """Tests for the terminal figure renderers."""
 
-import pytest
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.figures import render_figure

@@ -36,7 +36,7 @@ class TestRegistry:
             "fig16",
         }
         paper_artifacts.add("fig11")  # design-overview figure
-        extensions = {"cluster", "replication", "pressure", "node", "chaos"}
+        extensions = {"cluster", "replication", "pressure", "node", "chaos", "overload"}
         assert set(list_experiments()) == paper_artifacts | extensions
 
     def test_unknown_rejected(self):
@@ -195,7 +195,6 @@ class TestTable1Traces:
 
     def test_id5_is_surge(self):
         surge = make_trace(5, duration=3600.0)
-        normal = make_trace(1, duration=3600.0)
         # The surge trace concentrates arrivals into a tight window.
         assert surge.iat_std > 0
 

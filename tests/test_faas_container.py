@@ -134,11 +134,9 @@ class TestKeepAlive:
         platform.register_function("web", get_profile("web"))
         platform.submit("web", 0.0)
         platform.engine.run()
-        history_container = None
         # Grab the (reclaimed) container via a fresh dispatch path check.
         # Build one manually instead:
         from repro.faas.container import Container
-        from repro.faas.function import FunctionSpec
 
         container = Container(platform, platform.function("web"), "c-x")
         platform.engine.run(until=platform.engine.now + 60.0)

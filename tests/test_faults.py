@@ -212,3 +212,38 @@ class TestCircuitBreaker:
             b.record_success(1.0)
             assert b.allow(1.0)
         assert tracer.emitted == before
+
+    def test_retrip_cycle_traced(self):
+        """Full open -> half-open -> open -> half-open -> closed cycle.
+
+        The re-trip from a failed probe must emit a second BREAKER_OPEN
+        (reason "probe-failed") and the eventual recovery exactly one
+        BREAKER_CLOSE; opens/reclosures counters track the cycle.
+        """
+        from repro.obs.trace import EventKind, Tracer
+
+        tracer = Tracer(clock=lambda: 0.0)
+        config = RecoveryConfig(
+            failure_threshold=3, cooldown_s=30.0, success_threshold=2
+        )
+        b = CircuitBreaker(config, clock=lambda: 0.0, tracer=tracer)
+        b.trip(0.0, reason="link_down")
+        assert b.allow(30.0)  # cooldown -> half-open probe window
+        b.record_failure(30.0)  # probe fails -> re-trip
+        assert b.state == OPEN
+        assert b.allow(60.0)  # second cooldown -> half-open again
+        b.record_success(60.0)
+        b.record_success(61.0)
+        assert b.state == CLOSED
+        assert b.opens == 2
+        assert b.reclosures == 1
+        kinds = [event.kind for event in tracer.snapshot()]
+        assert kinds == [
+            EventKind.BREAKER_OPEN,
+            EventKind.BREAKER_HALF_OPEN,
+            EventKind.BREAKER_OPEN,
+            EventKind.BREAKER_HALF_OPEN,
+            EventKind.BREAKER_CLOSE,
+        ]
+        reopen = tracer.snapshot()[2]
+        assert reopen.data["reason"] == "probe-failed"

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import TraceError
 from repro.traces.azure import AzureTraceConfig, generate_azure_like
-from repro.traces.mapper import Binding, binding_table, map_population, merged_events
+from repro.traces.mapper import binding_table, map_population, merged_events
 from repro.workloads import application_names, micro_benchmark_names
 
 

@@ -1,6 +1,5 @@
 """Unit tests for terminal plots."""
 
-import pytest
 
 from repro.metrics.plots import bar_chart, cdf_chart, line_chart, scatter_summary
 

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.trace import EventKind, TraceEvent, Tracer
+from repro.obs.trace import EventKind, Tracer
 
 
 def make_tracer(**kwargs):

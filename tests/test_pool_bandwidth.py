@@ -1,6 +1,5 @@
 """Unit tests for the global bandwidth monitor."""
 
-import pytest
 
 from repro.pool.bandwidth import BandwidthMonitor, BandwidthMonitorConfig
 from repro.pool.link import Link, LinkConfig, LinkDirection

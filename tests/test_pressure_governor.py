@@ -1,0 +1,363 @@
+"""Unit tests for the memory-pressure governor (repro.pressure)."""
+
+import pytest
+
+from repro.baselines import NoOffloadPolicy
+from repro.errors import CapacityError, PolicyError
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.faas.request import Invocation
+from repro.mem.cgroup import Cgroup
+from repro.mem.node import ComputeNode, Watermarks
+from repro.mem.page import Segment
+from repro.pressure import DegradationTier, PressureConfig, ShedReason
+from repro.units import pages_from_mib
+from repro.workloads import get_profile
+
+
+def _platform(pressure, capacity_mib=2048.0, **config_kwargs):
+    platform = ServerlessPlatform(
+        NoOffloadPolicy(),
+        config=PlatformConfig(
+            seed=7,
+            node_capacity_mib=capacity_mib,
+            pressure=pressure,
+            **config_kwargs,
+        ),
+    )
+    platform.register_function("web", get_profile("web"))
+    return platform
+
+
+class TestPressureConfigValidation:
+    def test_watermark_order_enforced(self):
+        with pytest.raises(PolicyError):
+            PressureConfig(min_watermark_frac=0.2, low_watermark_frac=0.1).validate()
+        with pytest.raises(PolicyError):
+            PressureConfig(low_watermark_frac=0.3, high_watermark_frac=0.2).validate()
+
+    def test_high_watermark_below_one(self):
+        with pytest.raises(PolicyError):
+            PressureConfig(high_watermark_frac=1.0).validate()
+
+    def test_positive_knobs(self):
+        with pytest.raises(PolicyError):
+            PressureConfig(reclaim_tick_s=0.0).validate()
+        with pytest.raises(PolicyError):
+            PressureConfig(keepalive_shrink=0.0).validate()
+        with pytest.raises(PolicyError):
+            PressureConfig(admission_queue_limit=0).validate()
+        with pytest.raises(PolicyError):
+            PressureConfig(distress_window_s=-1.0).validate()
+
+    def test_inert_all_zero_watermarks_valid(self):
+        PressureConfig(
+            min_watermark_frac=0.0, low_watermark_frac=0.0, high_watermark_frac=0.0
+        ).validate()
+
+    def test_defaults_valid(self):
+        PressureConfig().validate()
+
+
+class TestWatermarks:
+    def test_ordering_enforced(self):
+        with pytest.raises(CapacityError):
+            Watermarks(min_pages=10, low_pages=5, high_pages=20)
+        with pytest.raises(CapacityError):
+            Watermarks(min_pages=-1, low_pages=5, high_pages=20)
+
+    def test_high_watermark_capped_by_capacity(self):
+        node = ComputeNode(clock=lambda: 0.0, capacity_mib=1.0)
+        with pytest.raises(CapacityError):
+            node.set_watermarks(
+                Watermarks(min_pages=0, low_pages=0, high_pages=node.capacity_pages + 1)
+            )
+
+
+class TestCapacityAccounting:
+    """Satellite: add_local over-capacity is no longer silent."""
+
+    def test_strict_node_raises(self):
+        node = ComputeNode(clock=lambda: 0.0, capacity_mib=1.0, strict=True)
+        node.add_local(node.capacity_pages)
+        with pytest.raises(CapacityError):
+            node.add_local(1)
+
+    def test_non_strict_node_counts_overcommits(self):
+        node = ComputeNode(clock=lambda: 0.0, capacity_mib=1.0)
+        node.add_local(node.capacity_pages)
+        assert node.overcommit_events == 0
+        node.add_local(1)
+        assert node.overcommit_events == 1
+        assert node.local_pages == node.capacity_pages + 1
+
+
+class TestThrottleDelay:
+    def _cgroup(self):
+        node = ComputeNode(clock=lambda: 0.0, capacity_mib=64.0)
+        cgroup = Cgroup("cg-0", node, clock=lambda: 0.0)
+        cgroup.allocate("exec", Segment.EXEC, 1000)
+        return cgroup
+
+    def test_zero_without_throttle(self):
+        cgroup = self._cgroup()
+        assert cgroup.throttle_delay(0.2, 1.0) == 0.0
+        assert cgroup.throttle_events == 0
+
+    def test_zero_within_quota(self):
+        cgroup = self._cgroup()
+        cgroup.memory_high_pages = 1000
+        assert cgroup.throttle_delay(0.2, 1.0) == 0.0
+
+    def test_quadratic_ramp(self):
+        cgroup = self._cgroup()
+        cgroup.memory_high_pages = 800  # 200 pages over -> overage 0.25
+        assert cgroup.throttle_delay(0.2, 1.0) == pytest.approx(0.2 * 0.25**2)
+        assert cgroup.throttle_events == 1
+
+    def test_ramp_capped_at_max_delay(self):
+        cgroup = self._cgroup()
+        cgroup.memory_high_pages = 10  # 99x over quota
+        assert cgroup.throttle_delay(0.2, 1.0) == 1.0
+
+
+class TestDirectReclaim:
+    def test_stall_charged_to_faulting_request(self):
+        # 600 MiB node, two ~350 MiB web warm sets: the second cold
+        # start must direct-reclaim the first (idle) container's pages
+        # and pay the stall on its own record.
+        platform = _platform(PressureConfig(), capacity_mib=600.0)
+        platform.register_function("web-b", get_profile("web"))
+        platform.run_trace([(0.0, "web"), (40.0, "web-b")])
+        governor = platform.governor
+        assert governor is not None
+        assert governor.stats.direct_reclaims >= 1
+        assert governor.stats.direct_reclaim_pages > 0
+        stalled = [r for r in platform.records if r.reclaim_stall_s > 0]
+        assert stalled, "no request was charged a reclaim stall"
+        assert platform.records[1].function == "web-b"
+        # The breakdown stays additive with the new component.
+        for record in platform.records:
+            assert sum(record.breakdown().values()) == pytest.approx(
+                record.latency, abs=1e-9
+            )
+
+    def test_peak_stays_within_capacity(self):
+        platform = _platform(
+            PressureConfig(), capacity_mib=600.0, audit_events=True
+        )
+        platform.register_function("web-b", get_profile("web"))
+        platform.run_trace([(0.0, "web"), (40.0, "web-b")])
+        node = platform.node
+        assert platform.governor.enforcing
+        assert node.peak_pages <= node.capacity_pages
+        assert node.overcommit_events == 0
+        assert platform.auditor is not None
+        assert platform.auditor.violations == []
+
+
+class TestOomContainment:
+    def test_oom_fires_when_writeback_cannot_cover(self):
+        # A 16 MiB remote pool cannot absorb a ~350 MiB write-back, so
+        # direct reclaim fails and the idle container is OOM-killed.
+        platform = _platform(
+            PressureConfig(),
+            capacity_mib=600.0,
+            pool_capacity_mib=16.0,
+            audit_events=True,
+        )
+        platform.register_function("web-b", get_profile("web"))
+        platform.run_trace([(0.0, "web"), (40.0, "web-b")])
+        governor = platform.governor
+        assert governor.stats.direct_reclaim_failures >= 1
+        assert governor.stats.oom_kills >= 1
+        assert governor.stats.oom_pages_freed > 0
+        # Both requests still complete (the victim was idle).
+        assert len(platform.records) == 2
+        assert platform.auditor.violations == []
+
+    def test_oom_victim_is_largest_idle_footprint(self):
+        platform = _platform(PressureConfig(), capacity_mib=4096.0)
+        platform.register_function("json", get_profile("json"))
+        platform.submit("web", 0.0)
+        platform.submit("json", 0.0)
+        platform.run(until=60.0)  # both idle, keep-alive not yet expired
+        governor = platform.governor
+        containers = platform.controller.all_containers()
+        assert len(containers) == 2
+        largest = max(containers, key=lambda c: c.cgroup.local_pages)
+        largest_pages = largest.cgroup.local_pages
+        freed = governor._oom_kill(protect=None, shortfall=1)
+        assert freed == largest_pages
+        assert not largest.alive
+
+    def test_protected_container_never_the_victim(self):
+        platform = _platform(PressureConfig(), capacity_mib=4096.0)
+        platform.submit("web", 0.0)
+        platform.run(until=60.0)
+        (container,) = platform.controller.all_containers()
+        governor = platform.governor
+        assert governor._oom_kill(protect=container.container_id, shortfall=1) == 0
+        assert container.alive
+
+    def test_oom_disabled_leaves_containers_alone(self):
+        platform = _platform(
+            PressureConfig(oom_enabled=False),
+            capacity_mib=600.0,
+            pool_capacity_mib=16.0,
+        )
+        platform.register_function("web-b", get_profile("web"))
+        platform.run_trace([(0.0, "web"), (40.0, "web-b")])
+        governor = platform.governor
+        assert governor.stats.direct_reclaim_failures >= 1
+        assert governor.stats.oom_kills == 0
+
+
+class TestDegradationLadder:
+    def _governor(self):
+        platform = _platform(PressureConfig())
+        return platform, platform.governor
+
+    def test_tier_steps_one_rung_at_a_time(self):
+        platform, governor = self._governor()
+        governor._last_reclaim_failure = platform.engine.now  # target: tier 3
+        seen = []
+        for _ in range(4):
+            governor._evaluate()
+            seen.append(governor.tier.value)
+        assert seen == [1, 2, 3, 3]
+        assert governor.stats.tier_changes == 3
+
+    def test_down_steps_respect_dwell(self):
+        platform, governor = self._governor()
+        governor._last_reclaim_failure = platform.engine.now
+        for _ in range(3):
+            governor._evaluate()
+        assert governor.tier is DegradationTier.QUEUE_LAUNCHES
+        # Distress cleared, but the dwell clock has not advanced.
+        governor._last_reclaim_failure = float("-inf")
+        governor._last_direct_reclaim = float("-inf")
+        governor._evaluate()
+        assert governor.tier is DegradationTier.QUEUE_LAUNCHES
+        # Past the dwell, the tier relaxes one rung per evaluation.
+        governor._last_tier_change = -1e9
+        governor._evaluate()
+        assert governor.tier is DegradationTier.DENY_PREWARM
+
+    def test_keep_alive_scaling(self):
+        platform, governor = self._governor()
+        assert governor.scale_keep_alive(120.0) == 120.0
+        governor._last_direct_reclaim = platform.engine.now  # target: tier 2
+        governor._evaluate()
+        assert governor.tier is DegradationTier.SHRINK_KEEPALIVE
+        assert governor.scale_keep_alive(120.0) == pytest.approx(
+            120.0 * governor.config.keepalive_shrink
+        )
+
+    def test_pending_stall_consumed_once(self):
+        platform, governor = self._governor()
+        platform.submit("web", 0.0)
+        platform.run(until=60.0)
+        (container,) = platform.controller.all_containers()
+        governor._charge_stall(container.container_id, 0.5)
+        governor._charge_stall(None, 0.25)  # unattributed bucket
+        assert governor.request_stall(container) == pytest.approx(0.75)
+        assert governor.request_stall(container) == 0.0
+
+
+class TestAdmissionControl:
+    def _hold_at(self, governor, tier):
+        """Pin the governor at ``tier`` for the next evaluation."""
+        now = governor.engine.now
+        governor.tier = tier
+        governor._last_tier_change = now  # dwell blocks down-steps
+        governor._last_reclaim_failure = now  # target stays >= 3
+
+    def test_below_queue_tier_admits(self):
+        platform = _platform(PressureConfig())
+        governor = platform.governor
+        assert governor.gate_launch(Invocation("web", 0.0)) is False
+        assert governor.stats.queued == 0
+
+    def test_queue_tier_queues_fifo(self):
+        platform = _platform(
+            PressureConfig(admission_queue_limit=2, per_function_queue_limit=1)
+        )
+        governor = platform.governor
+        self._hold_at(governor, DegradationTier.QUEUE_LAUNCHES)
+        assert governor.gate_launch(Invocation("web", 0.0)) is True
+        assert governor.queue_depth == 1
+        assert governor.stats.queued == 1
+        # Per-function bound reached: tier 3 admits instead of dropping.
+        self._hold_at(governor, DegradationTier.QUEUE_LAUNCHES)
+        assert governor.gate_launch(Invocation("web", 0.0)) is False
+        assert governor.stats.shed == 0
+
+    def test_shed_reasons_are_typed(self):
+        platform = _platform(
+            PressureConfig(admission_queue_limit=2, per_function_queue_limit=1)
+        )
+        governor = platform.governor
+        self._hold_at(governor, DegradationTier.QUEUE_LAUNCHES)
+        assert governor.gate_launch(Invocation("web", 0.0)) is True
+        # Function bound hit while the global queue still has room.
+        self._hold_at(governor, DegradationTier.SHED)
+        assert governor.gate_launch(Invocation("web", 0.0)) is True
+        assert governor.shed_records[-1].reason is ShedReason.FUNCTION_BACKPRESSURE
+        # Fill the global queue, then any arrival sheds queue-full.
+        self._hold_at(governor, DegradationTier.QUEUE_LAUNCHES)
+        assert governor.gate_launch(Invocation("other", 0.0)) is True
+        self._hold_at(governor, DegradationTier.SHED)
+        assert governor.gate_launch(Invocation("third", 0.0)) is True
+        assert governor.shed_records[-1].reason is ShedReason.ADMISSION_QUEUE_FULL
+        assert governor.stats.shed == 2
+
+    def test_deny_prewarm_at_tier_two(self):
+        platform = _platform(PressureConfig())
+        governor = platform.governor
+        assert governor.deny_prewarm("web") is False
+        governor.tier = DegradationTier.DENY_PREWARM
+        governor._last_tier_change = governor.engine.now
+        governor._last_direct_reclaim = governor.engine.now  # target stays 2
+        assert governor.deny_prewarm("web") is True
+        assert governor.stats.prewarms_denied == 1
+
+    def test_queue_drains_when_pressure_clears(self):
+        platform = _platform(PressureConfig(admission_queue_limit=4))
+        governor = platform.governor
+        self._hold_at(governor, DegradationTier.QUEUE_LAUNCHES)
+        invocation = Invocation("web", 0.0)
+        assert governor.gate_launch(invocation) is True
+        # Pressure clears: distress gone, dwell elapsed.
+        governor._last_reclaim_failure = float("-inf")
+        governor._last_direct_reclaim = float("-inf")
+        governor._last_tier_change = -1e9
+        governor.tier = DegradationTier.NORMAL
+        assert governor._drain_queue() is True
+        assert governor.queue_depth == 0
+        assert governor.stats.dequeued == 1
+        platform.run()
+        assert len(platform.records) == 1
+
+
+class TestGovernorConstruction:
+    def test_quota_exceeding_capacity_still_validates_watermarks(self):
+        # Watermarks derive from capacity, so attach never violates the
+        # set_watermarks capacity bound.
+        platform = _platform(PressureConfig(), capacity_mib=128.0)
+        assert platform.governor is not None
+        assert platform.node.watermarks is not None
+
+    def test_governor_absent_by_default(self):
+        platform = ServerlessPlatform(NoOffloadPolicy(), config=PlatformConfig())
+        assert platform.governor is None
+        assert platform.node.watermarks is None
+
+    def test_watermark_pages_match_fractions(self):
+        config = PressureConfig()
+        platform = _platform(config, capacity_mib=2048.0)
+        capacity = platform.node.capacity_pages
+        marks = platform.node.watermarks
+        assert marks.min_pages == int(capacity * config.min_watermark_frac)
+        assert marks.low_pages == int(capacity * config.low_watermark_frac)
+        assert marks.high_pages == int(capacity * config.high_watermark_frac)
+        assert pages_from_mib(2048.0) == capacity

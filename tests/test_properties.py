@@ -1,6 +1,5 @@
 """Cross-cutting property-based tests on core invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import FaaSMemConfig

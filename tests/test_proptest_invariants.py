@@ -8,7 +8,6 @@ workloads through a fully audited platform with semi-warm enabled.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.config import FaaSMemConfig
 from repro.core.manager import FaaSMemPolicy

@@ -6,7 +6,6 @@ split-off siblings stay remote forever because only the head region
 was in the working set — these tests pin the fix.
 """
 
-import pytest
 
 from repro.core import FaaSMemPolicy
 from repro.faas import PlatformConfig, ServerlessPlatform

@@ -1,8 +1,7 @@
 """Interaction tests: semi-warm with sharing, heartbeats, keep-alive."""
 
-import pytest
 
-from repro.core import FaaSMemConfig, FaaSMemPolicy
+from repro.core import FaaSMemPolicy
 from repro.faas import PlatformConfig, ServerlessPlatform
 from repro.workloads import get_profile
 

@@ -1,6 +1,5 @@
 """Cross-policy summary invariants at small scale."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines import NoOffloadPolicy
