@@ -1,0 +1,28 @@
+"""Hierarchical-pool extension bench (CXL-near + RDMA-far tiering)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tiering import run
+
+
+def test_bench_tiering(benchmark, show):
+    result = run_once(benchmark, run, duration=1800.0)
+    show(result)
+    flat = next(row for row in result.rows if row["system"] == "flat")
+    hier_rows = [row for row in result.rows if row["system"] == "hierarchy"]
+    assert hier_rows, "sweep produced no hierarchy rows"
+    for row in hier_rows:
+        # Same total pool capacity, same paired trace: the hierarchy's
+        # near-tier recalls avoid RDMA round-trips, so tail latency is
+        # no worse than the flat pool at every near-share point.
+        assert row["p99_s"] <= flat["p99_s"]
+        # Memory savings come from the offload policy, not the pool
+        # topology, so the hierarchy lands within 5% of flat.
+        assert abs(row["savings_pct"] - flat["savings_pct"]) <= 5.0
+        # The hierarchy actually exercised the near tier and the
+        # background demotion daemon, and every run audited clean.
+        assert row["near_resident_pk"] > 0
+        assert row["demotions"] > 0
+        assert row["violations"] == 0
+    assert flat["violations"] == 0
+    # Offloading (flat or tiered) saves substantial memory vs keep-alive.
+    assert flat["savings_pct"] > 30.0

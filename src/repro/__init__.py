@@ -29,6 +29,7 @@ from repro.pressure import (
     PressureConfig,
     ShedReason,
 )
+from repro.tier import TieredFastswap, TieredPool, TierSpec, TierTopology
 from repro.traces import generate_azure_like, sample_function_trace
 from repro.workloads import all_benchmarks, get_profile
 
@@ -50,6 +51,10 @@ __all__ = [
     "MemoryPressureGovernor",
     "DegradationTier",
     "ShedReason",
+    "TierTopology",
+    "TierSpec",
+    "TieredPool",
+    "TieredFastswap",
     "get_profile",
     "all_benchmarks",
     "sample_function_trace",

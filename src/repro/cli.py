@@ -36,6 +36,7 @@ _QUICK_KWARGS = {
     "overload": {"duration": 240.0, "multipliers": (0.5, 1.5, 3.0)},
     "replication": {"duration": 600.0, "seeds": (1, 2, 3)},
     "chaos": {"duration": 600.0, "intensities": (0.0, 2.0)},
+    "tiering": {"duration": 300.0, "near_shares": (0.25,)},
 }
 
 

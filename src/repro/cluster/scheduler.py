@@ -12,6 +12,19 @@ class PlacementError(ReproError):
     """Raised when no node can host a container's quota."""
 
 
+def _no_fit_error(quota_mib: float, free_mib: Dict[str, float]) -> PlacementError:
+    """A uniform, debuggable no-node-fits error for every scheduler."""
+    if not free_mib:
+        return PlacementError(
+            f"cluster has no nodes to place a {quota_mib:.0f} MiB container on"
+        )
+    best, free = max(free_mib.items(), key=lambda item: (item[1], item[0]))
+    return PlacementError(
+        f"no node can fit {quota_mib:.0f} MiB across {len(free_mib)} node(s); "
+        f"largest free is {best} with {free:.0f} MiB"
+    )
+
+
 class ClusterScheduler(abc.ABC):
     """Chooses the node for each new container.
 
@@ -36,12 +49,10 @@ class WorstFitScheduler(ClusterScheduler):
 
     def place(self, quota_mib: float, free_mib: Dict[str, float]) -> str:
         if not free_mib:
-            raise PlacementError("cluster has no nodes")
+            raise _no_fit_error(quota_mib, free_mib)
         node, free = max(free_mib.items(), key=lambda item: (item[1], item[0]))
         if free < quota_mib:
-            raise PlacementError(
-                f"no node can fit {quota_mib} MiB (best: {node} with {free:.0f})"
-            )
+            raise _no_fit_error(quota_mib, free_mib)
         return node
 
 
@@ -53,7 +64,9 @@ class BestFitScheduler(ClusterScheduler):
             (free, name) for name, free in free_mib.items() if free >= quota_mib
         ]
         if not candidates:
-            raise PlacementError(f"no node can fit {quota_mib} MiB")
+            raise _no_fit_error(quota_mib, free_mib)
+        # min() over (free, name) tuples: equal-fullness ties break
+        # deterministically on the lexicographically smallest name.
         _, node = min(candidates)
         return node
 
@@ -65,4 +78,4 @@ class FirstFitScheduler(ClusterScheduler):
         for name in sorted(free_mib):
             if free_mib[name] >= quota_mib:
                 return name
-        raise PlacementError(f"no node can fit {quota_mib} MiB")
+        raise _no_fit_error(quota_mib, free_mib)

@@ -216,6 +216,12 @@ class FaaSMemPolicy(OffloadPolicy):
         victims = ctl.state.offload_candidates(pucket)
         if not victims:
             return
-        self.platform.fastswap.offload(container.cgroup, victims)
+        # Tier targeting: init-pucket pages survive the descent barrier
+        # untouched and are almost never recalled (Fig. 8), so on a
+        # tiered pool they go straight to the far tier; runtime-pucket
+        # pages let page temperature decide. The flat pool ignores the
+        # hint.
+        hint = "far" if pucket is ctl.state.init_pucket else None
+        self.platform.fastswap.offload(container.cgroup, victims, tier_hint=hint)
         for region in victims:
             ctl.state.note_offload(region)

@@ -161,7 +161,13 @@ class SemiWarmController:
                 self._drain.stop()
                 self._drain = None
             return
-        self.platform.fastswap.offload(self.container.cgroup, victims)
+        # Semi-warm pages are the likeliest to be recalled (the next
+        # start faults them back), so a tiered pool parks them in the
+        # near tier; the background demotion daemon moves whatever
+        # stays cold past the barrier down to the far tier.
+        self.platform.fastswap.offload(
+            self.container.cgroup, victims, tier_hint="near"
+        )
         moved = sum(region.pages for region in victims)
         self.episodes[-1].offloaded_pages += moved
         if self.state is not None:

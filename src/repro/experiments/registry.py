@@ -13,6 +13,7 @@ from repro.experiments import (
     overload,
     pressure,
     replication,
+    tiering,
     fig01_keepalive,
     fig02_damon,
     fig04_runtime_memory,
@@ -50,6 +51,7 @@ _REGISTRY: Dict[str, Callable] = {
     "pressure": pressure.run,
     "node": node_mixed.run,
     "replication": replication.replicate,
+    "tiering": tiering.run,
 }
 
 

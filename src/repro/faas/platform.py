@@ -80,6 +80,12 @@ class PlatformConfig:
     # constructed and every hook stays on its zero-cost
     # ``governor is None`` path.
     pressure: Optional[object] = None
+    # Pool hierarchy (repro.tier): a TierTopology. None falls back to
+    # the process-wide default installed via repro.tier.runtime; with
+    # neither set the platform builds today's flat single-node pool.
+    # A degenerate one-tier/one-shard topology is provably equivalent
+    # to the flat pool (byte-identical trace digests).
+    tiers: Optional[object] = None
 
 
 @dataclass
@@ -143,14 +149,38 @@ class ServerlessPlatform:
             capacity_mib=self.config.node_capacity_mib,
             strict=self.config.strict_node_capacity,
         )
-        self.pool = RemotePool(
-            clock=lambda: self.engine.now,
-            capacity_mib=self.config.pool_capacity_mib,
-        )
-        self.link = Link(self.config.link)
-        self.fastswap = Fastswap(self.engine, self.link, self.pool)
+        # Pool topology: an explicit config value wins over the
+        # process-wide default (lazy imports, like faults/pressure).
+        tiers = self.config.tiers
+        if tiers is None:
+            from repro.tier import runtime as tier_runtime
+
+            tiers = tier_runtime.default_tiers()
+        if tiers is not None:
+            from repro.pool.tier import TieredPool
+            from repro.tier.datapath import TieredFastswap
+
+            self.pool = TieredPool(
+                clock=lambda: self.engine.now,
+                topology=tiers,
+                default_capacity_mib=self.config.pool_capacity_mib,
+                default_link=self.config.link,
+            )
+            self.fastswap = TieredFastswap(self.engine, self.pool)
+            # The representative link (nearest tier, shard 0): what
+            # the bandwidth monitor throttles against and what
+            # single-link call sites observe.
+            self.link = self.fastswap.link
+        else:
+            self.pool = RemotePool(
+                clock=lambda: self.engine.now,
+                capacity_mib=self.config.pool_capacity_mib,
+            )
+            self.link = Link(self.config.link)
+            self.fastswap = Fastswap(self.engine, self.link, self.pool)
         if tracer is not None:
-            self.link.tracer = tracer
+            for link in self.fastswap.links():
+                link.tracer = tracer
             self.fastswap.tracer = tracer
         self.bandwidth_monitor = BandwidthMonitor(self.link)
         self.keep_alive = keep_alive or FixedKeepAlive(self.config.keep_alive_s)
@@ -390,7 +420,10 @@ class ServerlessPlatform:
             remote_peak_mib=self.pool.peak_pages * 4096 / (1024 * 1024),
             remote_avg_mib=self.pool.average_mib(self.engine.now),
             avg_offload_bandwidth_mibps=(
-                self.link.bytes_moved(LinkDirection.OUT, 0.0, duration)
+                sum(
+                    link.bytes_moved(LinkDirection.OUT, 0.0, duration)
+                    for link in self.fastswap.links()
+                )
                 / duration
                 / (1024 * 1024)
             ),

@@ -117,11 +117,15 @@ class FaultInjector:
 
     def _on_window_start(self, window: FaultWindow) -> None:
         now = self.platform.engine.now
+        # Fabric-wide: every link of the datapath (one for the flat
+        # pool, one per shard for a tiered pool) shares the window.
         if window.kind == LINK_DOWN:
-            self.platform.link.set_up(False)
+            for link in self.platform.fastswap.links():
+                link.set_up(False)
             self.stats.link_outages += 1
         else:
-            self.platform.link.set_degradation(window.factor)
+            for link in self.platform.fastswap.links():
+                link.set_degradation(window.factor)
             self.stats.link_degradations += 1
         if self.tracer is not None:
             self.tracer.emit(
@@ -137,9 +141,11 @@ class FaultInjector:
 
     def _on_window_end(self, window: FaultWindow) -> None:
         if window.kind == LINK_DOWN:
-            self.platform.link.set_up(True)
+            for link in self.platform.fastswap.links():
+                link.set_up(True)
         else:
-            self.platform.link.set_degradation(1.0)
+            for link in self.platform.fastswap.links():
+                link.set_degradation(1.0)
         if self.tracer is not None:
             self.tracer.emit(EventKind.FAULT_CLEARED, "link", fault=window.kind)
 
@@ -236,20 +242,29 @@ class FaultInjector:
         platform = self.platform
         fastswap = platform.fastswap
         self.stats.pool_crashes += 1
+        # One pool *node* crashes. The flat pool is a single crash
+        # domain; a tiered pool exposes one domain per shard and a
+        # deterministic draw picks the victim. The single-domain case
+        # draws nothing, so flat runs with the same schedule are
+        # unperturbed.
+        domains = fastswap.crash_domains()
+        domain = domains[0]
+        if len(domains) > 1:
+            domain = domains[int(self.rng.integers(0, len(domains)))]
         lost_names = set()
         total_lost = 0
         for cgroup in fastswap.attached_cgroups():
-            regions = [r for r in cgroup.remote_regions() if not r.freed]
+            regions = fastswap.regions_in_domain(cgroup, domain)
             lost = fastswap.declare_lost(cgroup, regions)
             if lost:
                 lost_names.add(cgroup.name)
                 total_lost += lost
-        platform.pool.drop(total_lost)
+        fastswap.drop_pool(domain, total_lost)
         self.stats.pages_lost += total_lost
         if self.tracer is not None:
             self.tracer.emit(
                 EventKind.POOL_CRASH,
-                platform.pool.name,
+                fastswap.domain_pool_name(domain),
                 pages_lost=total_lost,
                 cgroups=len(lost_names),
             )

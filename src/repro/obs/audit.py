@@ -88,6 +88,35 @@ class _SwapLedger:
         return self.offloaded - self.recalled - self.remote_freed - self.remote_lost
 
 
+@dataclass
+class _TierLedger:
+    """Cumulative page flow through one pool tier (repro.tier).
+
+    The per-tier conservation law generalises the flat swap identity:
+    pages placed into (or demoted into) a tier leave it only by
+    recall, free, crash loss or demotion — the balance is the tier's
+    resident footprint, checked against its shard pools at finalize.
+    """
+
+    placed: int = 0
+    demoted_in: int = 0
+    recalled: int = 0
+    freed: int = 0
+    lost: int = 0
+    demoted_out: int = 0
+
+    @property
+    def resident(self) -> int:
+        return (
+            self.placed
+            + self.demoted_in
+            - self.recalled
+            - self.freed
+            - self.lost
+            - self.demoted_out
+        )
+
+
 class InvariantAuditor:
     """Checks conservation laws online over a trace-event stream."""
 
@@ -111,6 +140,9 @@ class InvariantAuditor:
         # direct reclaim.
         self._governor_tier = 0
         self._direct_reclaim_failed = False
+        # Pool-tier conservation (repro.tier): level -> ledger. Stays
+        # empty unless tier.* events appear (hierarchical runs only).
+        self._tier_ledgers: Dict[int, _TierLedger] = {}
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -292,6 +324,66 @@ class InvariantAuditor:
             f"remote_lost={self.swap.remote_lost}",
         )
 
+    # -- pool-tier conservation (repro.tier) ----------------------------
+
+    def _tier_ledger(self, event: TraceEvent, key: str = "tier") -> _TierLedger:
+        return self._tier_ledgers.setdefault(int(event.data[key]), _TierLedger())
+
+    def _check_tier_balance(self, event: TraceEvent, level: int) -> None:
+        ledger = self._tier_ledgers.setdefault(level, _TierLedger())
+        self._check(
+            ledger.resident >= 0,
+            event.time,
+            "tier.conservation",
+            f"tier-{level}",
+            f"tier resident balance went negative: placed={ledger.placed} "
+            f"demoted_in={ledger.demoted_in} recalled={ledger.recalled} "
+            f"freed={ledger.freed} lost={ledger.lost} "
+            f"demoted_out={ledger.demoted_out}",
+        )
+
+    def _on_tier_place(self, event: TraceEvent) -> None:
+        self._tier_ledger(event).placed += int(event.data["pages"])
+        self._check_tier_balance(event, int(event.data["tier"]))
+
+    def _on_tier_recall(self, event: TraceEvent) -> None:
+        self._tier_ledger(event).recalled += int(event.data["pages"])
+        self._check_tier_balance(event, int(event.data["tier"]))
+
+    def _on_tier_free(self, event: TraceEvent) -> None:
+        self._tier_ledger(event).freed += int(event.data["pages"])
+        self._check_tier_balance(event, int(event.data["tier"]))
+
+    def _on_tier_lost(self, event: TraceEvent) -> None:
+        self._tier_ledger(event).lost += int(event.data["pages"])
+        self._check_tier_balance(event, int(event.data["tier"]))
+
+    def _on_tier_demote(self, event: TraceEvent) -> None:
+        src = int(event.data["from_tier"])
+        dst = int(event.data["to_tier"])
+        pages = int(event.data["pages"])
+        self._check(
+            dst == src + 1,
+            event.time,
+            "tier.demote-step",
+            event.subject,
+            f"demotion skipped a level: tier {src} -> tier {dst}",
+        )
+        self._tier_ledgers.setdefault(src, _TierLedger()).demoted_out += pages
+        self._tier_ledgers.setdefault(dst, _TierLedger()).demoted_in += pages
+        self._check_tier_balance(event, src)
+
+    def _on_tier_spill(self, event: TraceEvent) -> None:
+        src = int(event.data["from_tier"])
+        dst = int(event.data["to_tier"])
+        self._check(
+            dst == src + 1,
+            event.time,
+            "tier.spill-step",
+            event.subject,
+            f"spill skipped a level: tier {src} -> tier {dst}",
+        )
+
     # -- circuit breaker -------------------------------------------------
 
     # Legal source states per breaker event (closed is the implicit
@@ -466,6 +558,41 @@ class InvariantAuditor:
             f"SwapStats.remote_lost_pages={stats.remote_lost_pages} disagrees "
             f"with pool-dropped pages {platform.pool.lost_pages}",
         )
+        # Per-tier conservation (repro.tier): the ledger balance of
+        # each tier must equal its shard pools' summed usage, and the
+        # tier residents must sum to the flat remote-resident balance.
+        pool_tiers = getattr(platform.pool, "tiers", None)
+        if pool_tiers is not None and not getattr(platform.pool, "degenerate", True):
+            total_resident = 0
+            for tier in pool_tiers:
+                ledger = self._tier_ledgers.setdefault(tier.level, _TierLedger())
+                shard_used = sum(s.pool.used_pages for s in tier.shards)
+                shard_lost = sum(s.pool.lost_pages for s in tier.shards)
+                self._check(
+                    ledger.resident == shard_used,
+                    now,
+                    "tier.conservation",
+                    f"tier-{tier.level}",
+                    f"tier resident balance {ledger.resident} != shard pool "
+                    f"usage {shard_used} summed over {len(tier.shards)} shard(s)",
+                )
+                self._check(
+                    ledger.lost == shard_lost,
+                    now,
+                    "tier.conservation",
+                    f"tier-{tier.level}",
+                    f"tier lost ledger {ledger.lost} != shard pool dropped "
+                    f"pages {shard_lost}",
+                )
+                total_resident += ledger.resident
+            self._check(
+                total_resident == stats.remote_resident_pages,
+                now,
+                "tier.conservation",
+                "tiered-pool",
+                f"summed tier residents {total_resident} != flat "
+                f"remote-resident balance {stats.remote_resident_pages}",
+            )
         self._snapshot_policy_states(platform, now)
         governor = getattr(platform, "governor", None)
         if governor is not None and governor.enforcing:
@@ -566,6 +693,12 @@ _HANDLERS = {
     EventKind.REMOTE_FREED.value: InvariantAuditor._on_remote_freed,
     EventKind.PAGE_LOST.value: InvariantAuditor._on_page_lost,
     EventKind.LINK_TRANSFER.value: InvariantAuditor._on_link_transfer,
+    EventKind.TIER_PLACE.value: InvariantAuditor._on_tier_place,
+    EventKind.TIER_RECALL.value: InvariantAuditor._on_tier_recall,
+    EventKind.TIER_FREE.value: InvariantAuditor._on_tier_free,
+    EventKind.TIER_LOST.value: InvariantAuditor._on_tier_lost,
+    EventKind.TIER_DEMOTE.value: InvariantAuditor._on_tier_demote,
+    EventKind.TIER_SPILL.value: InvariantAuditor._on_tier_spill,
     EventKind.BREAKER_OPEN.value: InvariantAuditor._on_breaker_event,
     EventKind.BREAKER_HALF_OPEN.value: InvariantAuditor._on_breaker_event,
     EventKind.BREAKER_CLOSE.value: InvariantAuditor._on_breaker_event,

@@ -69,6 +69,17 @@ class EventKind(str, enum.Enum):
     BREAKER_HALF_OPEN = "breaker.half_open"
     BREAKER_CLOSE = "breaker.close"
 
+    # Tiered pool hierarchy (repro.tier). Only emitted for genuinely
+    # hierarchical topologies: the degenerate one-tier/one-shard
+    # configuration emits none of these, keeping its trace stream
+    # byte-identical to the flat pool's.
+    TIER_PLACE = "tier.place"
+    TIER_RECALL = "tier.recall"
+    TIER_FREE = "tier.free"
+    TIER_LOST = "tier.lost"
+    TIER_DEMOTE = "tier.demote"
+    TIER_SPILL = "tier.spill"
+
     # Memory-pressure governor (repro.pressure)
     WATERMARK_LOW = "pressure.watermark.low"
     WATERMARK_RECOVERED = "pressure.watermark.recovered"

@@ -12,6 +12,7 @@ from repro.pool.link import Link, LinkDirection
 from repro.pool.remote_pool import RemotePool
 from repro.pool.fastswap import Fastswap, FastswapConfig, SwapStats
 from repro.pool.bandwidth import BandwidthMonitor
+from repro.pool.tier import PoolShard, Tier, TieredPool, TierSpec, TierTopology
 
 __all__ = [
     "Link",
@@ -21,4 +22,9 @@ __all__ = [
     "FastswapConfig",
     "SwapStats",
     "BandwidthMonitor",
+    "PoolShard",
+    "Tier",
+    "TieredPool",
+    "TierSpec",
+    "TierTopology",
 ]

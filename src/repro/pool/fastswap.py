@@ -143,6 +143,70 @@ class Fastswap:
         """Every cgroup ever attached (pool-crash loss enumeration)."""
         return list(self._cgroups)
 
+    # ------------------------------------------------------------------
+    # Routing seams
+    # ------------------------------------------------------------------
+    # The flat datapath has exactly one link and one pool, so every
+    # seam below is a trivial constant. repro.tier.TieredFastswap
+    # overrides them to route each region to a (tier, shard) pair —
+    # nothing else in this class changes, which is what makes the
+    # one-tier/one-shard configuration provably equivalent to the flat
+    # pool.
+
+    def links(self) -> List[Link]:
+        """Every link the datapath may transfer over."""
+        return [self.link]
+
+    def _route_offload(self, region: PageRegion, tier_hint: Optional[str] = None) -> Link:
+        """Pick the link a write-out of ``region`` travels over."""
+        return self.link
+
+    def _can_store(self, region: PageRegion) -> bool:
+        """Whether the pool backing ``region``'s route can take it now."""
+        return region.pages <= self.pool.free_pages
+
+    def _store(self, cgroup: Cgroup, region: PageRegion) -> None:
+        """Account a completed write-out in the routed pool."""
+        self.pool.store(region.pages)
+
+    def _discard_route(self, region: PageRegion, reason: str) -> None:
+        """An issued write-out aborted; forget any routing state."""
+
+    def _fault_link(self, region: PageRegion) -> Link:
+        """The link a page-in of ``region`` travels over."""
+        return self.link
+
+    def _release_recalled(self, cgroup: Cgroup, region: PageRegion) -> None:
+        """Account a recalled region leaving the pool."""
+        self.pool.release(region.pages)
+
+    def _release_freed(self, region: PageRegion) -> None:
+        """Account a freed-while-remote region leaving the pool."""
+        self.pool.release(region.pages)
+
+    def _note_lost(self, cgroup: Cgroup, region: PageRegion) -> None:
+        """A region's pool pages were destroyed by a node crash."""
+
+    # Pool-crash domains (repro.faults): the flat pool is one crash
+    # domain; the tiered pool exposes one per shard so the injector can
+    # fail a single pool node.
+
+    def crash_domains(self) -> List[object]:
+        """Independent pool-node failure domains."""
+        return [None]
+
+    def regions_in_domain(self, cgroup: Cgroup, domain: object) -> List[PageRegion]:
+        """Live remote regions of ``cgroup`` resident in ``domain``."""
+        return [r for r in cgroup.remote_regions() if not r.freed]
+
+    def drop_pool(self, domain: object, pages: int) -> None:
+        """Destroy ``pages`` pages in the crashed domain's pool."""
+        self.pool.drop(pages)
+
+    def domain_pool_name(self, domain: object) -> str:
+        """Display name of the crashed pool node."""
+        return self.pool.name
+
     @property
     def suspended(self) -> bool:
         """Whether the offload path is in local-only fallback.
@@ -160,12 +224,19 @@ class Fastswap:
     # Page-out
     # ------------------------------------------------------------------
 
-    def offload(self, cgroup: Cgroup, regions: Iterable[PageRegion]) -> float:
+    def offload(
+        self,
+        cgroup: Cgroup,
+        regions: Iterable[PageRegion],
+        tier_hint: Optional[str] = None,
+    ) -> float:
         """Asynchronously write regions out to the pool.
 
         Returns the completion time of the last write-out. Regions that
         get touched before their write-out completes are skipped
-        (abort), matching kernel swap semantics.
+        (abort), matching kernel swap semantics. ``tier_hint``
+        ("near"/"far") lets policies steer the tiered datapath; the
+        flat pool ignores it.
         """
         completion = self.engine.now
         if self.suspended:
@@ -189,7 +260,8 @@ class Fastswap:
                 continue
             issue_access_count = region.access_count
             issue_pages = region.pages
-            _, completion = self.link.transfer(
+            link = self._route_offload(region, tier_hint)
+            _, completion = link.transfer(
                 self.engine.now, issue_pages, LinkDirection.OUT
             )
             self.engine.schedule_at(
@@ -230,12 +302,13 @@ class Fastswap:
             # longer matches the region. Abort rather than account
             # pages that were never transferred.
             reason = "resized"
-        elif region.pages > self.pool.free_pages:
+        elif not self._can_store(region):
             # The pool filled up while the write-out was in flight:
             # the store bounces and the pages stay local, like a
             # swap-out failing against a full swap device.
             reason = "pool-full"
         if reason:
+            self._discard_route(region, reason)
             self.stats.aborted_offloads += 1
             if self.tracer is not None:
                 self.tracer.emit(
@@ -246,7 +319,7 @@ class Fastswap:
                     reason=reason,
                 )
             return
-        self.pool.store(region.pages)
+        self._store(cgroup, region)
         cgroup.mark_offloaded(region)
         self.stats.offloaded_pages += region.pages
         self._per_cgroup_offloaded[cgroup.name] = (
@@ -261,7 +334,10 @@ class Fastswap:
             )
 
     def writeback(
-        self, cgroup: Cgroup, regions: Iterable[PageRegion]
+        self,
+        cgroup: Cgroup,
+        regions: Iterable[PageRegion],
+        tier_hint: Optional[str] = None,
     ) -> Tuple[List[PageRegion], float]:
         """Synchronously write regions out (direct-reclaim page-out).
 
@@ -279,11 +355,13 @@ class Fastswap:
         for region in regions:
             if region.freed or region.is_remote:
                 continue
-            if region.pages > self.pool.free_pages:
+            link = self._route_offload(region, tier_hint)
+            if not self._can_store(region):
                 # Full pool: skip, like a swap-out bouncing off a full
                 # swap device. The governor falls through to OOM.
+                self._discard_route(region, "pool-full")
                 continue
-            _, completion = self.link.transfer(
+            _, completion = link.transfer(
                 self.engine.now, region.pages, LinkDirection.OUT
             )
             self.stats.offload_ops += 1
@@ -294,7 +372,7 @@ class Fastswap:
                     region=region.region_id,
                     pages=region.pages,
                 )
-            self.pool.store(region.pages)
+            self._store(cgroup, region)
             cgroup.mark_offloaded(region)
             self.stats.offloaded_pages += region.pages
             self._per_cgroup_offloaded[cgroup.name] = (
@@ -353,10 +431,10 @@ class Fastswap:
                 self._lost_region_ids.discard(region.region_id)
                 cgroup.mark_fetched(region)
                 continue
-            _, completion = self.link.transfer(
+            _, completion = self._fault_link(region).transfer(
                 issue_at, region.pages, LinkDirection.IN
             )
-            self.pool.release(region.pages)
+            self._release_recalled(cgroup, region)
             cgroup.mark_fetched(region)
             total_pages += region.pages
             self.stats.fault_ops += 1
@@ -390,7 +468,7 @@ class Fastswap:
             # there is nothing left to release.
             self._lost_region_ids.discard(region.region_id)
             return
-        self.pool.release(region.pages)
+        self._release_freed(region)
         self.stats.remote_freed_pages += region.pages
         if self.tracer is not None:
             self.tracer.emit(
@@ -426,6 +504,7 @@ class Fastswap:
                     region=region.region_id,
                     pages=region.pages,
                 )
+            self._note_lost(cgroup, region)
         return total
 
     def offloaded_pages_of(self, cgroup_name: str) -> int:

@@ -61,8 +61,12 @@ class LinkConfig:
 class Link:
     """A full-duplex pipe with FCFS queueing per direction."""
 
-    def __init__(self, config: Optional[LinkConfig] = None) -> None:
+    def __init__(self, config: Optional[LinkConfig] = None, name: str = "") -> None:
         self.config = config or LinkConfig()
+        # Distinguishes links in trace subjects when several coexist
+        # (the tiered pool's per-shard links). The empty default keeps
+        # single-link trace streams byte-identical to older runs.
+        self.name = name
         # Optional repro.obs.Tracer; None keeps transfers untraced.
         self.tracer = None
         # Fault-injection state (repro.faults). The healthy defaults
@@ -106,9 +110,12 @@ class Link:
         if pages > 0:
             self._transfers[direction].append((completion, pages * PAGE_SIZE))
             if self.tracer is not None:
+                subject = (
+                    f"{self.name}:{direction.value}" if self.name else direction.value
+                )
                 self.tracer.emit(
                     EventKind.LINK_TRANSFER,
-                    direction.value,
+                    subject,
                     pages=pages,
                     start=start,
                     completion=completion,

@@ -29,12 +29,18 @@ class RemotePool:
         self._clock = clock
         self.capacity_pages = pages_from_mib(capacity_mib)
         self._usage = TimeWeightedAccumulator(start_time=clock(), value=0.0)
+        # Exact page count. The time-weighted accumulator serves the
+        # averages/peaks below; truncating its float value back to an
+        # int would mis-count by one page whenever accumulated float
+        # error crosses a page boundary, so the authoritative counter
+        # is integer arithmetic only.
+        self._used_pages = 0
         # Cumulative pages destroyed by pool-node crashes (repro.faults).
         self.lost_pages = 0
 
     @property
     def used_pages(self) -> int:
-        return int(self._usage.value)
+        return self._used_pages
 
     @property
     def used_mib(self) -> float:
@@ -57,6 +63,7 @@ class RemotePool:
                 f"pool {self.name} full: {self.used_pages}+{pages} "
                 f"> {self.capacity_pages} pages"
             )
+        self._used_pages += pages
         self._usage.add(self._clock(), pages)
 
     def release(self, pages: int) -> None:
@@ -68,6 +75,7 @@ class RemotePool:
                 f"pool {self.name}: releasing {pages} pages but only "
                 f"{self.used_pages} stored"
             )
+        self._used_pages -= pages
         self._usage.add(self._clock(), -pages)
 
     def drop(self, pages: int) -> None:
@@ -85,6 +93,7 @@ class RemotePool:
                 f"pool {self.name}: dropping {pages} pages but only "
                 f"{self.used_pages} stored"
             )
+        self._used_pages -= pages
         self._usage.add(self._clock(), -pages)
         self.lost_pages += pages
 

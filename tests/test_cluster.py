@@ -36,6 +36,30 @@ class TestSchedulers:
         with pytest.raises(PlacementError):
             WorstFitScheduler().place(1, {})
 
+    @pytest.mark.parametrize(
+        "scheduler", [WorstFitScheduler(), BestFitScheduler(), FirstFitScheduler()]
+    )
+    def test_no_fit_error_is_typed_and_debuggable(self, scheduler):
+        with pytest.raises(PlacementError) as excinfo:
+            scheduler.place(1000, dict(self.FREE))
+        message = str(excinfo.value)
+        assert "no node can fit 1000 MiB across 3 node(s)" in message
+        assert "largest free is b with 300 MiB" in message
+
+    def test_empty_cluster_error_names_the_problem(self):
+        with pytest.raises(PlacementError) as excinfo:
+            BestFitScheduler().place(64, {})
+        assert "cluster has no nodes" in str(excinfo.value)
+
+    def test_best_fit_tie_break_deterministic(self):
+        # Equal-fullness candidates tie-break on the lexicographically
+        # smallest name, regardless of dict insertion order.
+        import itertools
+
+        for perm in itertools.permutations(["z", "a", "m"]):
+            free = {name: 200.0 for name in perm}
+            assert BestFitScheduler().place(150.0, free) == "a"
+
 
 class TestCluster:
     def _cluster(self, n_nodes=2, capacity=1000.0):

@@ -36,7 +36,15 @@ class TestRegistry:
             "fig16",
         }
         paper_artifacts.add("fig11")  # design-overview figure
-        extensions = {"cluster", "replication", "pressure", "node", "chaos", "overload"}
+        extensions = {
+            "cluster",
+            "replication",
+            "pressure",
+            "node",
+            "chaos",
+            "overload",
+            "tiering",
+        }
         assert set(list_experiments()) == paper_artifacts | extensions
 
     def test_unknown_rejected(self):

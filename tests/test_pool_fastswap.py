@@ -34,6 +34,30 @@ class TestRemotePool:
         engine.run(until=10.0)
         assert pool.average_pages(10.0) == pytest.approx(100.0)
 
+    def test_used_pages_exact_at_fractional_time_boundaries(self):
+        # Regression: used_pages used to be read back as
+        # int(self._usage.value), so any float residue in the
+        # time-weighted accumulator truncated the count by a page.
+        now = [0.0]
+        pool = RemotePool(clock=lambda: now[0], capacity_mib=64)
+        expected = 0
+        for _ in range(1000):
+            now[0] += 0.1  # not exactly representable in binary
+            pool.store(3)
+            expected += 3
+            now[0] += 0.1
+            pool.release(1)
+            expected -= 1
+            assert pool.used_pages == expected
+        assert isinstance(pool.used_pages, int)
+        assert pool.free_pages == pool.capacity_pages - expected
+        # The accumulator only serves averages/peaks; nudge it below the
+        # true count and the authoritative counter must not move, while
+        # the old truncating readout visibly mis-counts.
+        pool._usage.add(now[0], -1e-9)
+        assert pool.used_pages == expected
+        assert int(pool._usage.value) == expected - 1
+
 
 class TestOffload:
     def test_offload_moves_region_remote(self, engine, cgroup, fastswap):

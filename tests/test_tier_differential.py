@@ -1,0 +1,98 @@
+"""Degenerate-hierarchy differential: one tier, one shard == flat pool.
+
+Installing a :class:`TierTopology` with a single one-shard tier swaps
+in the whole tiered machinery — :class:`TieredPool`,
+:class:`TieredFastswap`, routing seams, crash-domain plumbing — yet
+the traced event stream must be byte-identical (same SHA-256 digest)
+to a run on the plain ``RemotePool``/``Fastswap`` pair: the single
+shard inherits the platform's capacity and link, keeps the flat pool
+name ``mempool-0`` and the unnamed link subject, emits no ``tier.*``
+events, never arms the demotion daemon, and draws no random numbers.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import NoOffloadPolicy
+from repro.faas import PlatformConfig, ServerlessPlatform
+from repro.obs import runtime as obs
+from repro.pool.tier import TieredPool, TierSpec, TierTopology
+from repro.tier import runtime as tier_runtime
+from repro.tier.datapath import TieredFastswap
+
+
+def _digest(runner, with_degenerate_hierarchy: bool) -> str:
+    obs.reset_sessions()
+    obs.enable(trace=True, audit=False)
+    if with_degenerate_hierarchy:
+        tier_runtime.install(TierTopology.flat())
+    try:
+        runner()
+        return obs.combined_digest()
+    finally:
+        tier_runtime.clear()
+        obs.disable()
+        obs.reset_sessions()
+
+
+def _run_fig12():
+    from repro.experiments import fig12_azure_eval
+
+    fig12_azure_eval.run(benchmarks=["web"], loads=("high",), duration=300.0)
+
+
+def _run_semiwarm():
+    from repro.experiments import fig11_semiwarm_overview
+
+    fig11_semiwarm_overview.run(history_duration=3600.0)
+
+
+class TestDegenerateHierarchyDifferential:
+    def test_fig12_digest_identical(self):
+        assert _digest(_run_fig12, False) == _digest(_run_fig12, True)
+
+    def test_semiwarm_digest_identical(self):
+        assert _digest(_run_semiwarm, False) == _digest(_run_semiwarm, True)
+
+    def test_differential_is_not_vacuous(self):
+        """The degenerate branch really does build the tiered stack."""
+        tier_runtime.install(TierTopology.flat())
+        try:
+            platform = ServerlessPlatform(NoOffloadPolicy(), config=PlatformConfig())
+            assert isinstance(platform.pool, TieredPool)
+            assert isinstance(platform.fastswap, TieredFastswap)
+            assert platform.pool.degenerate
+            assert platform.pool.name == "mempool-0"
+            assert platform.fastswap.links()[0].name == ""
+        finally:
+            tier_runtime.clear()
+
+    def test_real_hierarchy_does_change_the_stream(self):
+        """Sanity check on the instrument: two tiers diverge.
+
+        A genuine CXL+RDMA topology emits ``tier.*`` events and routes
+        semi-warm drains over the near link, so its digest cannot match
+        the flat run.
+        """
+
+        def run_two_tier(tiered: bool):
+            def runner():
+                if tiered:
+                    tier_runtime.install(
+                        TierTopology.cxl_rdma(total_capacity_mib=64 * 1024)
+                    )
+                try:
+                    _run_fig12()
+                finally:
+                    tier_runtime.clear()
+
+            return runner
+
+        assert _digest(run_two_tier(False), False) != _digest(
+            run_two_tier(True), False
+        )
+
+    def test_multi_shard_single_tier_is_not_degenerate(self):
+        """Sharding alone already leaves the provable-flat regime."""
+        topo = TierTopology(tiers=[TierSpec(name="pool", shards=2)])
+        assert not topo.degenerate
+        assert TierTopology.flat().degenerate
