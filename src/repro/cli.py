@@ -3,18 +3,20 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig12 [--json out.json] [--quick]
+    python -m repro run fig12 [--json out.json] [--quick] [--jobs 4]
     python -m repro run all --quick
+    python -m repro bench --quick [--profile 15]
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import List, Optional
 
-from repro.experiments import list_experiments, run_experiment
+from repro.experiments import get_experiment, list_experiments, run_experiment
 from repro.metrics.export import to_json
 from repro.units import HOUR
 
@@ -54,6 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="reduced-scale run (shorter traces, fewer functions)",
+    )
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan independent sweep points out over N worker processes "
+            "(0 = one per CPU; default $REPRO_JOBS or 1; byte-identical "
+            "trace digests vs serial; only grid-based experiments "
+            "parallelize)"
+        ),
     )
     runner.add_argument(
         "--plot",
@@ -97,13 +111,70 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="print the last N buffered events per session",
     )
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark harness; writes BENCH_perf.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale bench (CI smoke scale)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel sweep measurements "
+        "(0 = one per CPU; default $REPRO_JOBS or 1)",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        metavar="PATH",
+        help="where to write the bench record (default: BENCH_perf.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline BENCH_perf.json to compare against "
+        "(default: the --out path, when it already exists)",
+    )
+    bench.add_argument(
+        "--profile",
+        nargs="?",
+        const=15,
+        type=int,
+        default=0,
+        metavar="N",
+        help="cProfile the serial fig12 smoke and report the top-N "
+        "cumulative hot spots (default N: 15)",
+    )
+    bench.add_argument(
+        "--no-digest-check",
+        action="store_true",
+        help="do not fail when the audited fig12 smoke digest differs "
+        "from the baseline record",
+    )
     return parser
 
 
 def _run_one(
-    name: str, quick: bool, json_path: Optional[str], plot: bool = False
+    name: str,
+    quick: bool,
+    json_path: Optional[str],
+    plot: bool = False,
+    jobs: Optional[int] = None,
 ) -> None:
     kwargs = dict(_QUICK_KWARGS.get(name, {})) if quick else {}
+    if jobs is not None:
+        # Only grid-based experiments accept a worker count; the rest
+        # run serially regardless, so a --jobs flag is simply inert.
+        if "jobs" in inspect.signature(get_experiment(name)).parameters:
+            kwargs["jobs"] = jobs
+        elif jobs not in (None, 1):
+            print(f"[{name} has no parallel sweep grid; running serially]")
     started = time.time()
     result = run_experiment(name, **kwargs)
     elapsed = time.time() - started
@@ -175,6 +246,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _trace_command(args)
+    if args.command == "bench":
+        from repro.perf.bench import render_bench, run_bench
+
+        result = run_bench(
+            quick=args.quick,
+            jobs=args.jobs,
+            profile_top=args.profile,
+            out_path=args.out,
+            baseline_path=args.baseline,
+        )
+        print(render_bench(result))
+        baseline = result.get("baseline")
+        if baseline and not baseline["digest_match"] and not args.no_digest_check:
+            print(
+                "bench: audited fig12 smoke digest changed vs baseline",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.audit:
         from repro.obs import runtime as obs
 
@@ -187,12 +277,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         faults_runtime.install(FaultSpec.parse(faults_spec))
     try:
+        jobs = getattr(args, "jobs", None)
         if args.experiment == "all":
             for name in list_experiments():
-                _run_one(name, args.quick, None, plot=args.plot)
+                _run_one(name, args.quick, None, plot=args.plot, jobs=jobs)
                 print()
         else:
-            _run_one(args.experiment, args.quick, args.json, plot=args.plot)
+            _run_one(args.experiment, args.quick, args.json, plot=args.plot, jobs=jobs)
     finally:
         if faults_spec:
             from repro.faults import runtime as faults_runtime

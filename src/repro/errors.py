@@ -51,6 +51,19 @@ class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
 
 
+class SweepError(ExperimentError):
+    """Raised when a sweep point fails or a parallel worker dies.
+
+    Carries the failing point's grid ``key`` and, when the failure
+    happened in a worker process, the worker-side traceback text.
+    """
+
+    def __init__(self, key: object, message: str, worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.key = key
+        self.worker_traceback = worker_traceback
+
+
 class FaultError(ReproError):
     """Raised when a fault specification or schedule is invalid."""
 

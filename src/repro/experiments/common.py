@@ -1,4 +1,12 @@
-"""Shared experiment plumbing."""
+"""Shared experiment plumbing.
+
+Besides the uniform :class:`ExperimentResult` and the policy/trace
+factories, this module re-exports the parallel sweep primitives
+(:class:`~repro.perf.sweep.SweepGrid` and friends, carved out of the
+per-experiment loops that used to live here) so experiment harnesses
+have a single import point: enumerate independent points, run them
+with :func:`run_grid`, and merge the values back in grid order.
+"""
 
 from __future__ import annotations
 
@@ -11,10 +19,28 @@ from repro.faas import PlatformConfig, ServerlessPlatform
 from repro.faas.policy import OffloadPolicy
 from repro.metrics.export import render_table
 from repro.metrics.summary import RunSummary
+from repro.perf.sweep import (  # noqa: F401 - re-exported for harnesses
+    PointResult,
+    SweepGrid,
+    SweepPoint,
+    resolve_jobs,
+)
 from repro.traces.analysis import reused_intervals
 from repro.traces.model import FunctionTrace
 from repro.units import MINUTE
 from repro.workloads import get_profile
+
+
+def run_grid(
+    name: str, points: List[SweepPoint], jobs: Optional[int] = None
+) -> List[Any]:
+    """Execute sweep points (serially or fanned out) in grid order.
+
+    Returns each point's payload value, in the same order as
+    ``points`` — the merge step of every gridded experiment relies on
+    that ordering being independent of worker scheduling.
+    """
+    return [result.value for result in SweepGrid(name, points).run(jobs=jobs)]
 
 
 @dataclass

@@ -20,14 +20,14 @@ direct-reclaim stalls in p99 and as shed load.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.baselines import NoOffloadPolicy
 from repro.core import FaaSMemPolicy
 from repro.errors import ExperimentError
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, SweepGrid, SweepPoint
 from repro.faas import PlatformConfig, ServerlessPlatform
 from repro.pressure import PressureConfig
 from repro.traces.analysis import reused_intervals
@@ -57,6 +57,93 @@ def _arrival_schedule(
     return schedule
 
 
+def _sweep_point(
+    multiplier: float,
+    system: str,
+    benchmark: str,
+    duration: float,
+    node_capacity_mib: float,
+    pool_capacity_mib: float,
+    keep_alive_s: float,
+    mean_iat_s: float,
+    seed: int,
+) -> Dict[str, Any]:
+    """One (multiplier, system) cell of the overload sweep.
+
+    The arrival schedule and priors are regenerated inside the point
+    from the same seeds, so every cell is self-contained (and therefore
+    fan-out safe) while both systems of a multiplier still see the
+    identical paired trace.
+    """
+    profile = get_profile(benchmark)
+    capacity_containers = node_capacity_mib / _WEB_FOOTPRINT_MIB
+    pressure = PressureConfig(
+        # Tight admission bounds: the sweep should reach the shed tier
+        # at the top multiplier instead of queueing unboundedly.
+        admission_queue_limit=6,
+        per_function_queue_limit=2,
+        # Shrink memory.high below the warm working set so the
+        # allocation-throttle ramp is visible under pressure.
+        throttle_quota_frac=0.7,
+    )
+    n_functions = max(1, round(multiplier * capacity_containers))
+    schedule = _arrival_schedule(n_functions, duration, mean_iat_s, seed)
+    submitted = sum(len(times) for times in schedule.values())
+    events = sorted(
+        (time, function) for function, times in schedule.items() for time in times
+    )
+    priors = {
+        function: reused_intervals(times, keep_alive_s, profile.exec_time_s)
+        for function, times in schedule.items()
+    }
+    policy = (
+        NoOffloadPolicy() if system == "baseline" else FaaSMemPolicy(reuse_priors=priors)
+    )
+    platform = ServerlessPlatform(
+        policy,
+        config=PlatformConfig(
+            seed=seed,
+            audit_events=True,
+            node_capacity_mib=node_capacity_mib,
+            pool_capacity_mib=pool_capacity_mib,
+            keep_alive_s=keep_alive_s,
+            pressure=pressure,
+        ),
+    )
+    for function in schedule:
+        platform.register_function(function, profile)
+    platform.run_trace(events)
+    assert platform.auditor is not None
+    governor = platform.governor
+    assert governor is not None
+    stats = platform.latencies()
+    completed = stats.count
+    if completed == 0:
+        raise ExperimentError("overload run completed no requests")
+    node = platform.node
+    return {
+        "multiplier": multiplier,
+        "system": system,
+        "functions": n_functions,
+        "submitted": submitted,
+        "completed": completed,
+        "goodput": round(completed / submitted, 4),
+        "shed": governor.stats.shed,
+        "shed_frac": round(governor.stats.shed / submitted, 4),
+        "queued": governor.stats.queued,
+        "throttled": governor.stats.throttle_events,
+        "oom_kills": governor.stats.oom_kills,
+        "direct_reclaims": governor.stats.direct_reclaims,
+        "bg_reclaim_mib": round(
+            governor.stats.background_reclaim_pages * 4096 / (1 << 20), 1
+        ),
+        "p99_s": round(stats.p99, 3),
+        "peak_mib": round(node.peak_pages * 4096 / (1 << 20), 1),
+        "overcommits": node.overcommit_events,
+        "violations": len(platform.auditor.violations),
+    }
+
+
 def run(
     benchmark: str = "web",
     duration: float = 480.0,
@@ -66,6 +153,7 @@ def run(
     mean_iat_s: float = 30.0,
     multipliers: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 3.0),
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep warm-set demand as a multiplier of node capacity.
 
@@ -81,79 +169,27 @@ def run(
     )
     if pool_capacity_mib is None:
         pool_capacity_mib = node_capacity_mib / 2
-    profile = get_profile(benchmark)
-    capacity_containers = node_capacity_mib / _WEB_FOOTPRINT_MIB
-    pressure = PressureConfig(
-        # Tight admission bounds: the sweep should reach the shed tier
-        # at the top multiplier instead of queueing unboundedly.
-        admission_queue_limit=6,
-        per_function_queue_limit=2,
-        # Shrink memory.high below the warm working set so the
-        # allocation-throttle ramp is visible under pressure.
-        throttle_quota_frac=0.7,
-    )
-    for multiplier in multipliers:
-        n_functions = max(1, round(multiplier * capacity_containers))
-        schedule = _arrival_schedule(n_functions, duration, mean_iat_s, seed)
-        submitted = sum(len(times) for times in schedule.values())
-        events = sorted(
-            (time, function)
-            for function, times in schedule.items()
-            for time in times
+    points = [
+        SweepPoint(
+            key=(multiplier, system),
+            fn=_sweep_point,
+            kwargs={
+                "multiplier": multiplier,
+                "system": system,
+                "benchmark": benchmark,
+                "duration": duration,
+                "node_capacity_mib": node_capacity_mib,
+                "pool_capacity_mib": pool_capacity_mib,
+                "keep_alive_s": keep_alive_s,
+                "mean_iat_s": mean_iat_s,
+                "seed": seed,
+            },
         )
-        priors = {
-            function: reused_intervals(times, keep_alive_s, profile.exec_time_s)
-            for function, times in schedule.items()
-        }
-        for system, build_policy in (
-            ("baseline", NoOffloadPolicy),
-            ("faasmem", lambda: FaaSMemPolicy(reuse_priors=priors)),
-        ):
-            platform = ServerlessPlatform(
-                build_policy(),
-                config=PlatformConfig(
-                    seed=seed,
-                    audit_events=True,
-                    node_capacity_mib=node_capacity_mib,
-                    pool_capacity_mib=pool_capacity_mib,
-                    keep_alive_s=keep_alive_s,
-                    pressure=pressure,
-                ),
-            )
-            for function in schedule:
-                platform.register_function(function, profile)
-            platform.run_trace(events)
-            assert platform.auditor is not None
-            governor = platform.governor
-            assert governor is not None
-            stats = platform.latencies()
-            completed = stats.count
-            if completed == 0:
-                raise ExperimentError("overload run completed no requests")
-            node = platform.node
-            result.rows.append(
-                {
-                    "multiplier": multiplier,
-                    "system": system,
-                    "functions": n_functions,
-                    "submitted": submitted,
-                    "completed": completed,
-                    "goodput": round(completed / submitted, 4),
-                    "shed": governor.stats.shed,
-                    "shed_frac": round(governor.stats.shed / submitted, 4),
-                    "queued": governor.stats.queued,
-                    "throttled": governor.stats.throttle_events,
-                    "oom_kills": governor.stats.oom_kills,
-                    "direct_reclaims": governor.stats.direct_reclaims,
-                    "bg_reclaim_mib": round(
-                        governor.stats.background_reclaim_pages * 4096 / (1 << 20), 1
-                    ),
-                    "p99_s": round(stats.p99, 3),
-                    "peak_mib": round(node.peak_pages * 4096 / (1 << 20), 1),
-                    "overcommits": node.overcommit_events,
-                    "violations": len(platform.auditor.violations),
-                }
-            )
+        for multiplier in multipliers
+        for system in ("baseline", "faasmem")
+    ]
+    outcomes = SweepGrid("overload", points).run(jobs=jobs)
+    result.rows = [outcome.value for outcome in outcomes]
     result.series["multipliers"] = list(multipliers)
     for system in ("baseline", "faasmem"):
         rows = [row for row in result.rows if row["system"] == system]

@@ -20,11 +20,16 @@ generalised per-tier swap-conservation law.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.baselines import NoOffloadPolicy
 from repro.errors import ExperimentError
-from repro.experiments.common import ExperimentResult, make_reuse_priors
+from repro.experiments.common import (
+    ExperimentResult,
+    SweepGrid,
+    SweepPoint,
+    make_reuse_priors,
+)
 from repro.core import FaaSMemPolicy
 from repro.faas import PlatformConfig, ServerlessPlatform
 from repro.pool.tier import TierTopology
@@ -62,6 +67,67 @@ def _run_one(
     return platform
 
 
+def _sweep_point(
+    system: str,
+    share: Optional[float],
+    benchmark: str,
+    load: str,
+    duration: float,
+    pool_capacity_mib: float,
+    near_shards: int,
+    far_shards: int,
+    demote_after_s: float,
+    far_direct_age_s: Optional[float],
+    seed: int,
+) -> Dict[str, Any]:
+    """One sweep cell: a full platform run reduced to its result row."""
+    trace = sample_function_trace(load, duration=duration, seed=seed)
+    tiers = None
+    if system == "hierarchy":
+        tiers = TierTopology.cxl_rdma(
+            total_capacity_mib=pool_capacity_mib,
+            near_share=share,
+            near_shards=near_shards,
+            far_shards=far_shards,
+            demote_after_s=demote_after_s,
+            far_direct_age_s=far_direct_age_s,
+        )
+    platform = _run_one(
+        benchmark,
+        trace,
+        seed,
+        pool_capacity_mib,
+        tiers=tiers,
+        offload=system != "no_offload",
+    )
+    summary = platform.summarize(benchmark, load, window=duration)
+    breakdown = platform.latency_breakdown()
+    fastswap = platform.fastswap
+    tier_stats = getattr(fastswap, "tier_stats", None)
+    return {
+        "system": system,
+        "near_share": "-" if share is None else share,
+        "requests": summary.requests,
+        "p99_s": round(summary.latency_p99, 4),
+        "mean_s": round(summary.latency_mean, 4),
+        "fault_stall_ms": round(breakdown["fault_stall_s"] * 1e3, 3),
+        "avg_mem_mib": round(summary.memory.average_mib, 2),
+        "remote_avg_mib": round(summary.remote_avg_mib, 1),
+        "near_resident_pk": (
+            0
+            if tier_stats is None or 1 not in tier_stats
+            else tier_stats[1].placed + tier_stats[1].demoted_in
+        ),
+        "spills": (
+            0
+            if tier_stats is None
+            else sum(ledger.spills for ledger in tier_stats.values())
+        ),
+        "demotions": getattr(fastswap, "demotions", 0),
+        "violations": len(platform.auditor.violations),
+    }
+
+
 def run(
     benchmark: str = "web",
     load: str = "high",
@@ -73,6 +139,7 @@ def run(
     demote_after_s: float = 60.0,
     far_direct_age_s: Optional[float] = 300.0,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep the near-tier capacity share at fixed total pool capacity."""
     result = ExperimentResult(
@@ -80,64 +147,36 @@ def run(
         "Near-pool capacity share vs p99 and memory savings "
         "(flat pool vs CXL-near + RDMA-far hierarchy, equal total capacity)",
     )
-    trace = sample_function_trace(load, duration=duration, seed=seed)
+    shared = {
+        "benchmark": benchmark,
+        "load": load,
+        "duration": duration,
+        "pool_capacity_mib": pool_capacity_mib,
+        "near_shards": near_shards,
+        "far_shards": far_shards,
+        "demote_after_s": demote_after_s,
+        "far_direct_age_s": far_direct_age_s,
+        "seed": seed,
+    }
+    cells = [("no_offload", None), ("flat", 0.0)] + [
+        ("hierarchy", share) for share in near_shares
+    ]
+    points = [
+        SweepPoint(
+            key=(system, share),
+            fn=_sweep_point,
+            kwargs={"system": system, "share": share, **shared},
+        )
+        for system, share in cells
+    ]
+    outcomes = SweepGrid("tiering", points).run(jobs=jobs)
+    result.rows = [outcome.value for outcome in outcomes]
 
-    def add_row(label: str, share: Optional[float], platform: ServerlessPlatform) -> dict:
-        summary = platform.summarize(benchmark, load, window=duration)
-        breakdown = platform.latency_breakdown()
-        fastswap = platform.fastswap
-        tier_stats = getattr(fastswap, "tier_stats", None)
-        row = {
-            "system": label,
-            "near_share": "-" if share is None else share,
-            "requests": summary.requests,
-            "p99_s": round(summary.latency_p99, 4),
-            "mean_s": round(summary.latency_mean, 4),
-            "fault_stall_ms": round(breakdown["fault_stall_s"] * 1e3, 3),
-            "avg_mem_mib": round(summary.memory.average_mib, 2),
-            "remote_avg_mib": round(summary.remote_avg_mib, 1),
-            "near_resident_pk": (
-                0
-                if tier_stats is None or 1 not in tier_stats
-                else tier_stats[1].placed + tier_stats[1].demoted_in
-            ),
-            "spills": (
-                0
-                if tier_stats is None
-                else sum(ledger.spills for ledger in tier_stats.values())
-            ),
-            "demotions": getattr(fastswap, "demotions", 0),
-            "violations": len(platform.auditor.violations),
-        }
-        result.rows.append(row)
-        return row
-
-    reference = _run_one(
-        benchmark, trace, seed, pool_capacity_mib, tiers=None, offload=False
-    )
-    ref_row = add_row("no_offload", None, reference)
+    ref_row = result.rows[0]
     ref_mem = ref_row["avg_mem_mib"]
     if ref_mem <= 0:
         raise ExperimentError("no-offload reference run used no memory")
-
-    flat = _run_one(
-        benchmark, trace, seed, pool_capacity_mib, tiers=None, offload=True
-    )
-    flat_row = add_row("flat", 0.0, flat)
-
-    for share in near_shares:
-        topology = TierTopology.cxl_rdma(
-            total_capacity_mib=pool_capacity_mib,
-            near_share=share,
-            near_shards=near_shards,
-            far_shards=far_shards,
-            demote_after_s=demote_after_s,
-            far_direct_age_s=far_direct_age_s,
-        )
-        hierarchy = _run_one(
-            benchmark, trace, seed, pool_capacity_mib, tiers=topology, offload=True
-        )
-        add_row("hierarchy", share, hierarchy)
+    flat_row = result.rows[1]
 
     for row in result.rows:
         row["savings_pct"] = round(100.0 * (1.0 - row["avg_mem_mib"] / ref_mem), 1)

@@ -67,6 +67,61 @@ def register_session(session: ObsSession) -> ObsSession:
     return session
 
 
+class _FrozenTracer:
+    """Read-only stand-in for a tracer that lived in a worker process.
+
+    The ring buffer stayed behind in the worker, so :meth:`snapshot`
+    is empty; the digest and counters — everything the audit report
+    and combined digest read — are preserved.
+    """
+
+    def __init__(self, digest: Optional[str], emitted: int, dropped: int) -> None:
+        self._digest = digest
+        self.emitted = emitted
+        self.dropped = dropped
+
+    def digest(self) -> str:
+        if self._digest is None:
+            raise ValueError("tracer was built with digest=False")
+        return self._digest
+
+    def snapshot(self) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+class _FrozenAuditor:
+    """Read-only stand-in for a worker session's invariant auditor."""
+
+    def __init__(self, checks: int, events_seen: int, violations: List[str]) -> None:
+        self.checks = checks
+        self.events_seen = events_seen
+        self.violations = list(violations)
+
+
+def adopt_session(snapshot) -> ObsSession:
+    """Register a worker session summary (:mod:`repro.perf.sweep`).
+
+    Parallel sweeps run platforms in worker processes whose sessions
+    never touch this registry; adopting their picklable summaries —
+    in grid order — keeps ``combined_digest`` and ``audit_report``
+    identical to a serial run.
+    """
+    auditor = (
+        _FrozenAuditor(snapshot.checks, snapshot.events_seen, snapshot.violations)
+        if snapshot.audited
+        else None
+    )
+    session = ObsSession(
+        label=snapshot.label,
+        tracer=_FrozenTracer(snapshot.digest, snapshot.emitted, snapshot.dropped),
+        auditor=auditor,
+    )
+    return register_session(session)
+
+
 def sessions() -> List[ObsSession]:
     """Sessions registered since the last :func:`reset_sessions`."""
     return list(_SESSIONS)
@@ -74,6 +129,15 @@ def sessions() -> List[ObsSession]:
 
 def reset_sessions() -> None:
     _SESSIONS.clear()
+
+
+def trim_sessions(count: int) -> None:
+    """Drop sessions registered after the first ``count``.
+
+    Lets a caller (e.g. the bench harness) run audited platforms
+    without leaking their sessions into an enclosing registry scope.
+    """
+    del _SESSIONS[count:]
 
 
 def combined_digest() -> str:

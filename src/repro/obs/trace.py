@@ -102,7 +102,7 @@ class TraceEvent:
     stream can be exported and hashed canonically.
     """
 
-    __slots__ = ("seq", "time", "kind", "subject", "data")
+    __slots__ = ("seq", "time", "kind", "subject", "data", "_encoded")
 
     def __init__(
         self, seq: int, time: float, kind: str, subject: str, data: Dict[str, Any]
@@ -112,6 +112,7 @@ class TraceEvent:
         self.kind = kind
         self.subject = subject
         self.data = data
+        self._encoded: Optional[bytes] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat dict form used by the JSON/CSV exporters."""
@@ -126,13 +127,41 @@ class TraceEvent:
 
     def line(self) -> str:
         """Canonical one-line serialization (hashed for determinism)."""
-        payload = json.dumps(
-            self.data, sort_keys=True, separators=(",", ":"), default=str
-        )
-        return f"{self.seq}|{self.time!r}|{self.kind}|{self.subject}|{payload}"
+        return self.encoded().decode("utf-8")
+
+    def encoded(self) -> bytes:
+        """The canonical line as UTF-8 bytes, serialized exactly once.
+
+        The hash path and the export/``--tail`` paths share this
+        cache, so an event is canonicalized at most once no matter how
+        many sinks read it. Empty payloads — the engine's per-event
+        heartbeat is the hottest case — skip ``json.dumps`` entirely;
+        the literal ``"{}"`` is byte-identical to what ``json.dumps``
+        produces for an empty dict.
+        """
+        encoded = self._encoded
+        if encoded is None:
+            data = self.data
+            payload = (
+                json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+                if data
+                else "{}"
+            )
+            encoded = (
+                f"{self.seq}|{self.time!r}|{self.kind}|{self.subject}|{payload}"
+            ).encode("utf-8")
+            self._encoded = encoded
+        return encoded
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TraceEvent({self.line()})"
+
+
+# Hash-input buffering: encoded lines accumulate until roughly this
+# many bytes, then feed SHA-256 in one C call. The resulting digest is
+# byte-identical to per-event updates (SHA-256 is sequential over the
+# concatenated stream); batching only amortizes call overhead.
+_HASH_CHUNK_BYTES = 1 << 16
 
 
 class Tracer:
@@ -159,6 +188,8 @@ class Tracer:
         self._seq = itertools.count()
         self._subscribers: List[Callable[[TraceEvent], None]] = []
         self._hash = hashlib.sha256() if digest else None
+        self._pending: List[bytes] = []
+        self._pending_bytes = 0
         self.emitted = 0
         self.enabled = True
 
@@ -167,23 +198,36 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def emit(self, kind: EventKind, subject: str = "", **data: Any) -> Optional[TraceEvent]:
-        """Record one event; returns it (or None when disabled)."""
+        """Record one event; returns it (or None when disabled).
+
+        This is the simulator's hottest observability path (one call
+        per engine event when tracing is on), so it stays lean: the
+        canonical line is serialized lazily and exactly once (see
+        :meth:`TraceEvent.encoded`), hash input is buffered and fed to
+        SHA-256 in batched chunks with an identical final digest, and
+        the subscriber loop is skipped outright when the ring (and
+        digest) are the only sinks.
+        """
         if not self.enabled:
             return None
         event = TraceEvent(
-            seq=next(self._seq),
-            time=self._clock(),
-            kind=kind.value if isinstance(kind, EventKind) else str(kind),
-            subject=subject,
-            data=data,
+            next(self._seq),
+            self._clock(),
+            kind.value if type(kind) is EventKind else str(kind),
+            subject,
+            data,
         )
         self.events.append(event)
         self.emitted += 1
         if self._hash is not None:
-            self._hash.update(event.line().encode("utf-8"))
-            self._hash.update(b"\n")
-        for subscriber in self._subscribers:
-            subscriber(event)
+            encoded = event.encoded()
+            self._pending.append(encoded)
+            self._pending_bytes += len(encoded) + 1
+            if self._pending_bytes >= _HASH_CHUNK_BYTES:
+                self._flush_hash()
+        if self._subscribers:
+            for subscriber in self._subscribers:
+                subscriber(event)
         return event
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
@@ -194,10 +238,20 @@ class Tracer:
     # Introspection / export
     # ------------------------------------------------------------------
 
+    def _flush_hash(self) -> None:
+        """Feed buffered canonical lines into the running SHA-256."""
+        pending = self._pending
+        if pending:
+            self._hash.update(b"\n".join(pending))
+            self._hash.update(b"\n")
+            pending.clear()
+            self._pending_bytes = 0
+
     def digest(self) -> str:
         """SHA-256 hex digest of the canonical full event stream."""
         if self._hash is None:
             raise ValueError("tracer was built with digest=False")
+        self._flush_hash()
         return self._hash.hexdigest()
 
     @property

@@ -1,0 +1,26 @@
+"""Performance layer: parallel sweep execution and benchmarking.
+
+* :mod:`repro.perf.sweep` — the :class:`SweepGrid` parallel executor
+  every large experiment enumerates its independent points onto.
+* :mod:`repro.perf.bench` — the ``repro bench`` wall-clock harness
+  that writes ``BENCH_perf.json`` (events/sec, per-experiment wall
+  clock, speedups vs the recorded baseline).
+"""
+
+from repro.perf.sweep import (
+    JOBS_ENV,
+    PointResult,
+    SessionSnapshot,
+    SweepGrid,
+    SweepPoint,
+    resolve_jobs,
+)
+
+__all__ = [
+    "JOBS_ENV",
+    "PointResult",
+    "SessionSnapshot",
+    "SweepGrid",
+    "SweepPoint",
+    "resolve_jobs",
+]

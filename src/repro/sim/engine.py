@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import SimulationError
@@ -44,23 +43,53 @@ def _wrap_callback_error(exc: Exception, event: "Event", now: float) -> Simulati
     return wrapped
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events order by ``(time, seq)``: the sequence number makes ordering
     among same-timestamp events FIFO and therefore deterministic.
+
+    A slotted plain class rather than a dataclass: millions of these
+    live on the heap during a long sweep, and ``__slots__`` removes
+    the per-instance ``__dict__`` while the hand-written ``__lt__``
+    compares exactly the two ordering fields.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    name: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        name: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, seq={self.seq}, name={self.name!r}, "
+            f"cancelled={self.cancelled})"
+        )
 
 
 class Engine:
@@ -115,8 +144,23 @@ class Engine:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         event = Event(time=time, seq=next(self._seq), callback=callback, name=name)
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, event)
         return event
+
+    def _live_head(self) -> Optional[Event]:
+        """The next non-cancelled event, with cancelled heads dropped.
+
+        The single home of the cancelled-event skip logic: both
+        :meth:`step` and :meth:`run` peek through this, so cancelled
+        events are lazily popped in exactly one place.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head.cancelled:
+                return head
+            heappop(heap)
+        return None
 
     def step(self) -> Optional[Event]:
         """Execute the next non-cancelled event; return it, or None if drained.
@@ -127,22 +171,22 @@ class Engine:
         attached. The failed event is already off the heap, so the
         queue stays consistent and the engine can keep stepping.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            if self.tracer is not None:
-                self.tracer.emit(EventKind.ENGINE_EVENT, event.name)
-            try:
-                event.callback()
-            except SimulationError:
-                raise
-            except Exception as exc:
-                raise _wrap_callback_error(exc, event, self._now) from exc
-            return event
-        return None
+        event = self._live_head()
+        if event is None:
+            return None
+        heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(EventKind.ENGINE_EVENT, event.name)
+        try:
+            event.callback()
+        except SimulationError:
+            raise
+        except Exception as exc:
+            raise _wrap_callback_error(exc, event, self._now) from exc
+        return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in order until the heap drains.
@@ -156,19 +200,23 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         executed = 0
+        # Local bindings keep the hot loop free of repeated attribute
+        # lookups; step/_live_head are bound methods resolved once.
+        live_head = self._live_head
+        step = self.step
+        bounded = max_events is not None
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
+            while True:
+                head = live_head()
+                if head is None:
+                    break
                 if until is not None and head.time > until:
                     break
-                if max_events is not None and executed >= max_events:
+                if bounded and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway schedule?"
                     )
-                self.step()
+                step()
                 executed += 1
             if until is not None and until > self._now:
                 self._now = until

@@ -35,6 +35,20 @@ class TestParser:
         args = build_parser().parse_args(["run", "fig12", "--audit"])
         assert args.audit
 
+    def test_run_jobs_flag(self):
+        args = build_parser().parse_args(["run", "fig12", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["run", "fig12"]).jobs is None
+
+    def test_bench_command_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--jobs", "2", "--out", "b.json", "--profile"]
+        )
+        assert args.command == "bench"
+        assert args.quick and args.jobs == 2 and args.out == "b.json"
+        assert args.profile == 15  # bare --profile defaults to top 15
+        assert build_parser().parse_args(["bench"]).profile == 0
+
 
 class TestMain:
     def test_list_prints_experiments(self, capsys):
@@ -89,6 +103,16 @@ class TestMain:
         events = json.loads(json_path.read_text())
         assert events and {"seq", "time", "kind", "subject"} <= set(events[0])
         assert csv_path.read_text().startswith("seq,time,kind,subject")
+
+    def test_run_with_jobs_parallelizes_grid_experiment(self, capsys):
+        assert main(["run", "chaos", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out and "finished in" in out
+
+    def test_run_with_jobs_on_serial_experiment_says_so(self, capsys):
+        assert main(["run", "fig04", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no parallel sweep grid" in out
 
     def test_quick_kwargs_applied(self, capsys):
         # fig15 --quick uses a 300 s trace; just assert it completes fast

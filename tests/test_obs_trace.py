@@ -79,6 +79,60 @@ class TestTracer:
             tracer.digest()
 
 
+class TestEmitHotPath:
+    """Regressions for the optimized emit path: same bytes, same digest."""
+
+    def test_digest_matches_per_event_reference(self):
+        """Batched hashing must equal one SHA-256 update per line."""
+        import hashlib
+
+        _, tracer = make_tracer()
+        for i in range(200):
+            if i % 3:
+                tracer.emit(EventKind.ENGINE_EVENT, "exec")
+            else:
+                tracer.emit(EventKind.RECALL, f"cg-{i}", region=i, pages=8)
+        reference = hashlib.sha256()
+        for event in tracer.snapshot():
+            reference.update(event.line().encode("utf-8"))
+            reference.update(b"\n")
+        assert tracer.digest() == reference.hexdigest()
+
+    def test_digest_mid_stream_then_more_events(self):
+        """Reading the digest early must not perturb the final digest."""
+        _, probed = make_tracer()
+        _, straight = make_tracer()
+        for i in range(10):
+            probed.emit(EventKind.ENGINE_EVENT, f"e{i}")
+            straight.emit(EventKind.ENGINE_EVENT, f"e{i}")
+        probed.digest()  # forces a hash flush mid-stream
+        for i in range(10, 20):
+            probed.emit(EventKind.ENGINE_EVENT, f"e{i}")
+            straight.emit(EventKind.ENGINE_EVENT, f"e{i}")
+        assert probed.digest() == straight.digest()
+
+    def test_empty_payload_line_matches_json_dumps(self):
+        """The fast-path literal "{}" is what json.dumps would produce."""
+        _, tracer = make_tracer()
+        event = tracer.emit(EventKind.ENGINE_EVENT, "exec")
+        assert event.line().endswith("|engine.event|exec|{}")
+        assert event.line().split("|")[-1] == json.dumps({})
+
+    def test_encoded_line_is_cached(self):
+        _, tracer = make_tracer()
+        event = tracer.emit(EventKind.RECALL, "cg", pages=4)
+        assert event.encoded() is event.encoded()  # serialized exactly once
+        assert event.line() == event.encoded().decode("utf-8")
+
+    def test_string_kind_accepted(self):
+        """Emit sites may pass a plain string instead of an EventKind."""
+        _, a = make_tracer()
+        _, b = make_tracer()
+        a.emit(EventKind.RECALL, "cg", pages=1)
+        b.emit("region.recall", "cg", pages=1)
+        assert a.digest() == b.digest()
+
+
 class TestExport:
     def test_to_json_round_trips(self, tmp_path):
         _, tracer = make_tracer()

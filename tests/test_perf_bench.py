@@ -1,0 +1,133 @@
+"""Tests for the ``repro bench`` harness (repro.perf.bench)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.perf.bench import (
+    LegacyEmitTracer,
+    bench_engine,
+    bench_tracer,
+    load_baseline,
+    render_bench,
+    run_bench,
+)
+
+# Tiny workloads: the tests exercise structure and determinism, not
+# wall-clock; production runs use the pinned defaults.
+_TINY = {
+    "micro_events": 2_000,
+    "smoke_overrides": {
+        "fig12": {"benchmarks": ["web"], "loads": ("high",), "duration": 120.0},
+        "tiering": {"duration": 120.0},
+    },
+}
+
+
+def _tiny_bench(tmp_path, name, **kwargs):
+    return run_bench(
+        quick=True, out_path=str(tmp_path / name), **_TINY, **kwargs
+    )
+
+
+class TestMicrobenches:
+    def test_tracer_digest_matches_legacy_emit_path(self):
+        result = bench_tracer(1_000)
+        assert result["events"] == 1_000
+        assert result["events_per_sec"] > 0
+        assert result["legacy_events_per_sec"] > 0
+        assert len(result["digest"]) == 64  # digests compared inside
+
+    def test_legacy_tracer_is_a_faithful_reference(self):
+        # Same stream through both paths, including subscribers.
+        from repro.obs.trace import EventKind, Tracer
+
+        seen = {"opt": [], "leg": []}
+        opt = Tracer(clock=lambda: 1.0)
+        leg = LegacyEmitTracer(clock=lambda: 1.0)
+        opt.subscribe(seen["opt"].append)
+        leg.subscribe(seen["leg"].append)
+        for tracer in (opt, leg):
+            tracer.emit(EventKind.RECALL, "cg", pages=4)
+            tracer.emit(EventKind.ENGINE_EVENT, "exec")
+        assert opt.digest() == leg.digest()
+        assert [e.line() for e in seen["opt"]] == [e.line() for e in seen["leg"]]
+
+    def test_engine_bench_counts_every_event(self):
+        result = bench_engine(500, traced=False)
+        assert result["events"] == 500
+        assert result["events_per_sec"] > 0
+        traced = bench_engine(500, traced=True)
+        assert traced["traced"] is True
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def bench_pair(self, tmp_path_factory):
+        """Two identical tiny bench runs (expensive: build once)."""
+        tmp_path = tmp_path_factory.mktemp("bench")
+        first = _tiny_bench(tmp_path, "first.json")
+        second = _tiny_bench(tmp_path, "second.json")
+        return tmp_path, first, second
+
+    def test_record_structure(self, bench_pair):
+        _, result, _ = bench_pair
+        assert result["schema"] == 1
+        assert set(result["micro"]) == {
+            "engine",
+            "engine_traced",
+            "tracer",
+            "tracer_legacy",
+        }
+        assert set(result["experiments"]) == {"fig12_smoke", "tiering_smoke"}
+        assert result["experiments"]["fig12_smoke"]["wall_s_serial"] > 0
+        assert "speedup_vs_legacy" in result["micro"]["tracer"]
+
+    def test_written_file_round_trips(self, bench_pair):
+        tmp_path, result, _ = bench_pair
+        loaded = json.loads((tmp_path / "first.json").read_text())
+        assert loaded["audited"]["digest"] == result["audited"]["digest"]
+        assert load_baseline(str(tmp_path / "first.json")) == loaded
+
+    def test_audited_digest_and_counts_stable_across_runs(self, bench_pair):
+        _, first, second = bench_pair
+        assert first["audited"]["digest"] == second["audited"]["digest"]
+        assert first["audited"]["events"] == second["audited"]["events"]
+        assert first["audited"]["violations"] == 0
+        assert second["audited"]["violations"] == 0
+
+    def test_bench_does_not_leak_obs_sessions(self, bench_pair):
+        assert obs.sessions() == []
+
+    def test_baseline_comparison(self, bench_pair):
+        tmp_path, _, second = bench_pair
+        result = _tiny_bench(
+            tmp_path, "third.json", baseline_path=str(tmp_path / "second.json")
+        )
+        baseline = result["baseline"]
+        assert baseline["digest_match"] is True
+        assert baseline["speedup_vs_baseline"]["fig12_smoke"] > 0
+        assert baseline["speedup_vs_baseline"]["tracer_events_per_sec"] > 0
+
+    def test_missing_baseline_is_none(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) is None
+
+    def test_render_is_human_readable(self, bench_pair):
+        _, result, _ = bench_pair
+        text = render_bench(result)
+        assert "events/s" in text
+        assert "audited fig12" in text
+        assert result["audited"]["digest"][:16] in text
+
+
+class TestProfile:
+    def test_profile_flag_returns_hot_spots(self, tmp_path):
+        result = _tiny_bench(tmp_path, "prof.json", profile_top=5)
+        assert len(result["profile"]) == 5
+        top = result["profile"][0]
+        assert set(top) == {"function", "calls", "tottime_s", "cumtime_s"}
+        assert top["cumtime_s"] >= result["profile"][-1]["cumtime_s"]
+        assert "top hot spots" in render_bench(result)

@@ -82,6 +82,54 @@ class TestCancellation:
         event.cancel()
         engine.run()
 
+    def test_cancelled_head_skipped_by_step(self, engine):
+        """step() must lazily pop cancelled heads, not execute them."""
+        doomed = engine.schedule(1.0, lambda: None, name="doomed")
+        engine.schedule(2.0, lambda: None, name="live")
+        doomed.cancel()
+        event = engine.step()
+        assert event is not None and event.name == "live"
+        assert engine.events_processed == 1
+
+    def test_cancelled_run_of_heads_all_skipped(self, engine):
+        """A run of consecutive cancelled heads is drained in one peek."""
+        fired = []
+        doomed = [engine.schedule(t, lambda: fired.append(t)) for t in (1.0, 2.0, 3.0)]
+        engine.schedule(4.0, lambda: fired.append("live"))
+        for event in doomed:
+            event.cancel()
+        engine.run()
+        assert fired == ["live"]
+        assert engine.events_processed == 1
+        assert engine.pending == 0
+
+    def test_cancelled_events_do_not_count_toward_max_events(self, engine):
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None).cancel()
+        engine.schedule(4.0, lambda: None)
+        engine.run(max_events=1)  # only the live event counts
+
+    def test_run_until_ignores_cancelled_head_beyond_horizon(self, engine):
+        """until compares against the next *live* event, not a cancelled one."""
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(3.0, lambda: fired.append(3)).cancel()
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 0  # the cancelled tail was dropped, not kept
+
+    def test_event_ordering_and_equality(self):
+        from repro.sim.engine import Event
+
+        early = Event(time=1.0, seq=0, callback=lambda: None)
+        later = Event(time=1.0, seq=1, callback=lambda: None)
+        assert early < later  # seq breaks the timestamp tie
+        assert not later < early
+        assert early == Event(time=1.0, seq=0, callback=lambda: None)
+        assert early != later
+        assert not hasattr(early, "__dict__")  # slotted: no per-event dict
+
     def test_clear_drops_everything(self, engine):
         fired = []
         engine.schedule(1.0, lambda: fired.append(1))
